@@ -1,0 +1,61 @@
+"""§5.1 dataset characterisation bench.
+
+Regenerates the paper's data-collection statistics: arguments available
+for mutation per test (paper: >60 nodes), successful mutations per base
+test (paper: ~45 per 1000 mutations), and the query-graph size profile
+(paper: 2372 vertices / 2989 edges on average).  Absolute numbers scale
+with the synthetic kernel; the bench reports them side by side.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import MUTATIONS_PER_TEST, write_result
+from repro.graphs import build_query_graph
+from repro.kernel import Executor
+
+
+def test_bench_dataset_stats(benchmark, kernel_68, trained_68):
+    dataset = trained_68.dataset
+
+    def compute():
+        stats = dataset.stats()
+        executor = Executor(kernel_68)
+        graph_nodes, graph_edges, arg_nodes = [], [], []
+        for index in range(min(len(dataset.programs), 40)):
+            program = dataset.programs[index]
+            coverage = dataset.coverages[index]
+            frontier = kernel_68.frontier(coverage.blocks)
+            graph = build_query_graph(
+                program, coverage, kernel_68, set(list(frontier)[:8])
+            )
+            graph_nodes.append(len(graph.nodes))
+            graph_edges.append(len(graph.edges))
+            arg_nodes.append(
+                len([n for n in graph.nodes if n.arg_path is not None])
+            )
+        return stats, graph_nodes, graph_edges, arg_nodes
+
+    stats, graph_nodes, graph_edges, arg_nodes = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    success_rate = (
+        stats["avg_samples_per_base"] / MUTATIONS_PER_TEST * 1000.0
+    )
+    lines = [
+        "§5.1 Dataset statistics (paper -> measured)",
+        f"  base tests: 0.98M -> {stats['base_tests']}",
+        "  args available for mutation per test: >60 -> "
+        f"{stats['avg_mutation_sites']:.1f} mutable sites "
+        f"({np.mean(arg_nodes):.1f} argument graph nodes)",
+        "  successful mutations per 1000: ~45 -> "
+        f"{success_rate:.1f}",
+        f"  avg ground-truth label size: 8 -> {stats['avg_label_size']:.1f}",
+        f"  graph vertices: 2372 -> {np.mean(graph_nodes):.0f}",
+        f"  graph edges: 2989 -> {np.mean(graph_edges):.0f}",
+        f"  examples: train {stats['train_examples']}, "
+        f"val {stats['validation_examples']}, "
+        f"eval {stats['evaluation_examples']}",
+    ]
+    write_result("dataset_stats.txt", "\n".join(lines))
+    assert stats["avg_mutation_sites"] > 10
+    assert success_rate > 5

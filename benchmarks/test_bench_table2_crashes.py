@@ -1,0 +1,73 @@
+"""Tables 2 & 3: the exhaustive crash campaign.
+
+Paper shape (7-day, 2 runs): Snowplow finds a substantial set of NEW
+crashes (67 and 46; 86 unique) while Syzkaller finds none — only known
+(Syzbot-backlog) crashes are rediscovered by both, with Snowplow finding
+at least as many known ones.  ~66 % of Snowplow's new crashes get a
+reproducer; categories are dominated by serious manifestations (GPF,
+paging fault, KASAN OOB).
+
+Scale: 24 virtual hours per run instead of 7 days, 2 runs.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.snowplow import (
+    CampaignConfig,
+    SnowplowConfig,
+    format_table2,
+    format_table3,
+    run_crash_campaign,
+)
+
+HOUR = 3600.0
+
+_RESULT_CACHE: dict = {}
+
+
+@pytest.fixture(scope="module")
+def crash_campaign(kernel_68, trained_68):
+    if "result" not in _RESULT_CACHE:
+        config = CampaignConfig(
+            horizon=24 * HOUR, runs=2, seed=23,
+            seed_corpus_size=400, sample_interval=4 * HOUR, snowplow=SnowplowConfig(),
+        )
+        _RESULT_CACHE["result"] = run_crash_campaign(
+            kernel_68, trained_68, config, reproduce=True
+        )
+    return _RESULT_CACHE["result"]
+
+
+def test_bench_table2_crashes(benchmark, crash_campaign):
+    result = benchmark.pedantic(
+        lambda: crash_campaign, rounds=1, iterations=1
+    )
+    rows = result.table2_rows()
+    text = format_table2(result) + (
+        "\npaper: Snowplow new 67/46, known 14/13; "
+        "Syzkaller new 0/0, known 8/11"
+    )
+    write_result("table2_crashes.txt", text)
+    # Shape: Snowplow surfaces previously-unknown crashes, and both
+    # fuzzers rediscover the known backlog.  (The Snowplow-vs-Syzkaller
+    # new-crash comparison is recorded in the table; at laptop scale and
+    # 2 seeds it is too noisy to gate on.)
+    assert sum(rows["snowplow_new"]) >= 1
+    assert sum(rows["snowplow_known"]) >= 1
+    assert sum(rows["syzkaller_known"]) >= 1
+
+
+def test_bench_table3_categories(benchmark, crash_campaign):
+    crashes = benchmark.pedantic(
+        crash_campaign.unique_new_crashes, rounds=1, iterations=1
+    )
+    text = format_table3(crashes) + (
+        "\npaper: 57 with reproducer / 30 without; GPF and paging "
+        "faults dominate"
+    )
+    write_result("table3_categories.txt", text)
+    assert crashes, "the campaign must surface new crashes"
+    with_repro = sum(1 for crash in crashes if crash.has_reproducer)
+    # Most (but not all) crashes should reproduce, as in the paper's 66%.
+    assert with_repro >= 1

@@ -1,0 +1,196 @@
+"""Table 4: the diagnosed bug reports.
+
+The paper diagnoses 7 crashes; bug #1 — an out-of-bounds write in
+``ata_pio_sector`` reachable only through an ioctl with
+SCSI_IOCTL_SEND_COMMAND, CDB = {ATA_16 PASS-THROUGH, protocol PIO,
+command NOP} and an oversized data length — explains 45 of the 57
+reproducible crashes as downstream memory-corruption manifestations.
+
+The bench verifies each planted Table 4 bug end to end: trigger it,
+triage it, minimise a reproducer, and attribute corruption crashes back
+to the ATA bug by inspecting reproducers for the SCSI ioctl — the
+paper's own attribution method (§5.3.2).
+"""
+
+from benchmarks.conftest import write_result
+from repro.fuzzer.crash import CrashTriage
+from repro.kernel import Executor
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator, serialize_program
+from repro.syzlang.program import Call, Program, zero_value
+from repro.syzlang.stdlib import ATA_16, ATA_NOP, ATA_PROT_PIO
+
+# Table 4 rows: bug id -> (paper description, syscall context).
+_TABLE4 = {
+    "ata-oob": ("Out of bound access in ata_pio_sector", "ioctl()"),
+    "uring-tss-gpf": (
+        "GPF in native_tss_update_io_bitmap", "io_uring()"
+    ),
+    "rcu-stall-cov": ("RCU stall in __sanitizer_cov_trace_pc", "timer"),
+    "gup-stack": ("GUP no longer grows the stack", "mmap()"),
+    "ext4-iomap-warn": ("WARNING in ext4_iomap_begin", "pwrite64()"),
+    "ext4-writepages-bug": ("kernel BUG in ext4_do_writepages", "fs bg op"),
+    "ext4-search-dir-uaf": (
+        "KASAN slab-use-after-free in ext4_search_dir", "open()"
+    ),
+}
+
+
+def _ata_program(kernel) -> Program:
+    open_spec = kernel.table.lookup("open$scsi")
+    ioctl_spec = kernel.table.lookup("ioctl$SCSI_IOCTL_SEND_COMMAND")
+    program = Program([
+        Call(open_spec, [zero_value(t) for _, t in open_spec.args]),
+        Call(ioctl_spec, [zero_value(t) for _, t in ioctl_spec.args]),
+    ])
+    ioctl = program.calls[1]
+    ioctl.args[0].producer = 0
+    command = ioctl.args[2].pointee
+    command.fields[1].value = 0x10000
+    cdb = command.fields[2]
+    cdb.fields[0].value = ATA_16
+    cdb.fields[1].value = ATA_PROT_PIO
+    cdb.fields[3].value = ATA_NOP
+    return program
+
+
+def _trigger_program(kernel, bug_id: str, rng) -> Program | None:
+    """Synthesise a trigger for a planted bug by reading its guard
+    conditions off the CFG (the experiment harness may cheat; fuzzers
+    may not)."""
+    if bug_id == "ata-oob":
+        return _ata_program(kernel)
+    from repro.kernel.blocks import BlockRole
+    from repro.kernel.conditions import ArgCondition, CondOp
+
+    block_id = kernel.bug_blocks[bug_id]
+    handler = kernel.handler_of_block[block_id]
+    spec = kernel.table.lookup(handler)
+    generator = ProgramGenerator(kernel.table, rng)
+    # Walk conditional predecessors to collect the guard chain.
+    conditions = []
+    current = block_id
+    seen = set()
+    while True:
+        preds = [
+            p for p in kernel.preds.get(current, ())
+            if kernel.blocks[p].role is BlockRole.CONDITION
+            and p not in seen
+        ]
+        if not preds:
+            break
+        pred = preds[0]
+        seen.add(pred)
+        condition = kernel.blocks[pred].condition
+        if isinstance(condition, ArgCondition):
+            conditions.append(condition)
+        current = pred
+    for _ in range(300):
+        program = generator.random_program(length=2)
+        producers = {}
+        for index, call in enumerate(program.calls):
+            produced = call.spec.produces
+            kind = produced
+            while kind is not None:
+                producers.setdefault(kind.name, []).append(index)
+                kind = kind.parent
+        for needed in spec.consumes():
+            if needed.name not in producers:
+                producer_specs = kernel.table.producers_of(needed)
+                if producer_specs:
+                    call = generator.random_call(producer_specs[0], producers)
+                    program.calls.append(call)
+                    producers.setdefault(needed.name, []).append(
+                        len(program.calls) - 1
+                    )
+        program.calls.append(generator.random_call(spec, producers))
+        from repro.syzlang.program import ArgPath, BufferValue, IntValue
+
+        call_index = len(program.calls) - 1
+        satisfiable = True
+        for condition in conditions:
+            path = ArgPath(call_index, condition.path_elements)
+            try:
+                value = program.get(path)
+            except Exception:
+                satisfiable = False
+                break
+            if isinstance(value, IntValue):
+                if condition.op is CondOp.EQ:
+                    value.value = condition.operand
+                elif condition.op is CondOp.GT:
+                    value.value = condition.operand + 1
+                elif condition.op is CondOp.LT:
+                    value.value = max(condition.operand - 1, 0)
+                elif condition.op is CondOp.MASK_SET:
+                    value.value |= condition.operand
+                elif condition.op is CondOp.MASK_CLEAR:
+                    value.value &= ~condition.operand
+                elif condition.op is CondOp.NE:
+                    value.value = condition.operand + 1
+            elif isinstance(value, BufferValue):
+                if condition.op is CondOp.GT:
+                    pad = condition.operand + 1 - len(value.data)
+                    if pad > 0:
+                        value.data = value.data + b"\x00" * pad
+        if not satisfiable:
+            continue
+        result = Executor(kernel).run(program)
+        # Reaching the bug block counts even when the crash is racy
+        # (non-reproducible bugs fire probabilistically).
+        if kernel.bug_blocks[bug_id] in result.coverage.blocks:
+            return program
+    return None
+
+
+def test_bench_table4_reports(benchmark, kernel_68):
+    def verify_all():
+        rng = make_rng(77)
+        triage = CrashTriage(Executor(kernel_68, seed=5), set())
+        rows = []
+        for bug_id, (description, context) in _TABLE4.items():
+            program = _trigger_program(kernel_68, bug_id, rng)
+            if program is None:
+                rows.append((bug_id, description, context, "NOT TRIGGERED"))
+                continue
+            executor = Executor(kernel_68, seed=9)
+            crash = None
+            for _ in range(10):
+                result = executor.run(program)
+                if result.crash is not None:
+                    crash = triage.observe(program, result.crash)
+                    break
+            if crash is None:
+                status = "reached (crash is concurrency-dependent)"
+            else:
+                reproducer = triage.reproduce(crash)
+                if reproducer is not None:
+                    status = f"reproduced ({len(reproducer)} calls)"
+                else:
+                    status = "triggered (no reproducer)"
+            rows.append((bug_id, description, context, status))
+        return rows
+
+    rows = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    lines = ["Table 4. Diagnosed bug reports (paper bug -> this repo)"]
+    for bug_id, description, context, status in rows:
+        lines.append(f"  {bug_id:<22} {description:<48} [{context}] {status}")
+
+    # ATA attribution: the memory corruptor produces many signatures;
+    # reproducers containing the SCSI ioctl are attributed to it.
+    ata = _ata_program(kernel_68)
+    executor = Executor(kernel_68, seed=31)
+    signatures = {executor.run(ata).crash.description for _ in range(30)}
+    lines.append(
+        f"  ATA memory corruption manifests as {len(signatures)} distinct "
+        "crash signatures (paper: 45/57 crashes attributed via the "
+        "SCSI_IOCTL_SEND_COMMAND reproducer test)"
+    )
+    lines.append("  reproducer (syz format):")
+    for line in serialize_program(ata).splitlines():
+        lines.append(f"    {line}")
+    write_result("table4_reports.txt", "\n".join(lines))
+
+    triggered = [row for row in rows if row[3] != "NOT TRIGGERED"]
+    assert len(triggered) == len(_TABLE4), rows
+    assert len(signatures) >= 3

@@ -1,0 +1,59 @@
+"""Table 5: directed kernel fuzzing, SyzDirect vs Snowplow-D.
+
+Paper shape: on bug-related target code locations, most easy targets are
+reached quickly by both systems (speedups near 1x, sometimes slightly
+below due to inference overhead); the hard, deeply-guarded targets are
+where PMM shines — 8.5x faster on the 19 mutually-reached targets, plus
+2 targets only Snowplow-D reaches and 3 reached by neither.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.snowplow import CampaignConfig, format_table5, run_directed_campaign
+from repro.snowplow.campaign import default_directed_targets
+
+HOUR = 3600.0
+
+
+def test_bench_table5_directed(benchmark, kernel_68, trained_68):
+    targets = default_directed_targets(kernel_68, count=10)
+    config = CampaignConfig(
+        horizon=2 * HOUR, runs=2, seed=41, seed_corpus_size=30,
+    )
+
+    results = benchmark.pedantic(
+        run_directed_campaign,
+        args=(kernel_68, trained_68, targets, config),
+        rounds=1, iterations=1,
+    )
+    text = format_table5(results, kernel_68.version) + (
+        "\npaper: 8.5x subtotal speedup on 19 common targets, "
+        "2 Snowplow-D-only targets, 3 unreached"
+    )
+    write_result("table5_directed.txt", text)
+
+    both_syz, both_snow = [], []
+    snow_only = 0
+    reached_any = 0
+    for modes in results.values():
+        syz_times = [
+            r.time_to_target for r in modes["syzdirect"] if r.reached
+        ]
+        snow_times = [
+            r.time_to_target for r in modes["snowplow_d"] if r.reached
+        ]
+        if syz_times or snow_times:
+            reached_any += 1
+        if syz_times and snow_times:
+            both_syz.append(np.mean(syz_times))
+            both_snow.append(np.mean(snow_times))
+        elif snow_times:
+            snow_only += 1
+    # Shape: both reach a majority of targets; on common targets
+    # Snowplow-D is at least competitive in aggregate (the paper's 8.5x
+    # comes from a few very hard targets; at this scale we assert the
+    # ordering with a noise margin).
+    assert reached_any >= len(targets) // 2
+    assert both_snow, "no commonly-reached targets"
+    assert sum(both_snow) <= sum(both_syz) * 1.2

@@ -1,0 +1,25 @@
+"""repro — a laptop-scale reproduction of Snowplow (ASPLOS 2025).
+
+Snowplow is a kernel fuzzer whose argument-mutation localizer is a
+learned model (PMM).  This package rebuilds the full stack in pure
+Python: the Syzlang test DSL and Syzkaller-style mutation engine
+(:mod:`repro.syzlang`, :mod:`repro.fuzzer`), a deterministic synthetic
+kernel with coverage and planted bugs (:mod:`repro.kernel`), the query
+graph representation (:mod:`repro.graphs`), a numpy autodiff + model
+stack (:mod:`repro.nn`, :mod:`repro.pmm`), and the hybrid fuzzer plus
+experiment harness (:mod:`repro.snowplow`).
+
+Quickstart::
+
+    from repro.kernel import build_kernel
+    from repro.snowplow import train_pmm, run_coverage_campaign, CampaignConfig
+
+    kernel = build_kernel("6.8", seed=1)
+    trained = train_pmm(kernel, seed=0)
+    result = run_coverage_campaign(kernel, trained, CampaignConfig(runs=2))
+    print(result.coverage_improvement, result.speedup)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Subcommands mirror the Snowplow workflow::
+
+    python -m repro.cli build-kernel --version 6.8 --seed 1
+    python -m repro.cli train --kernel 6.8 --out pmm.npz
+    python -m repro.cli fuzz --kernel 6.8 --model pmm.npz --hours 2
+    python -m repro.cli fuzz --kernel 6.9 --baseline --hours 2
+    python -m repro.cli triage --kernel 6.8 --prog crash.syz
+    python -m repro.cli exec --kernel 6.8 --prog test.syz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.kernel import Executor, build_kernel
+from repro.pmm import DatasetConfig, PMMConfig, TrainConfig
+from repro.pmm.checkpoint import load_pmm, save_pmm
+from repro.rng import derive_seed, split
+from repro.snowplow import CampaignConfig, train_pmm
+from repro.snowplow.campaign import (
+    TrainedPMM,
+    _build_snowplow_loop,
+    _build_syzkaller_loop,
+)
+from repro.syzlang import ProgramGenerator, parse_program, serialize_program
+
+__all__ = ["main"]
+
+
+def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", default="6.8",
+                        help="kernel version (6.8/6.9/6.10)")
+    parser.add_argument("--kernel-seed", type=int, default=1)
+    parser.add_argument("--size", default="default",
+                        choices=("small", "default", "large"))
+
+
+def _cmd_build_kernel(args) -> int:
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    print(f"kernel {kernel.version}: {kernel.block_count} blocks, "
+          f"{kernel.static_edge_count} static edges, "
+          f"{len(kernel.table)} syscall variants, "
+          f"{len(kernel.bugs)} planted bugs")
+    for subsystem in kernel.table.subsystems():
+        blocks = len(kernel.blocks_of_subsystem(subsystem))
+        print(f"  {subsystem:<14} {blocks:>6} blocks")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    trained = train_pmm(
+        kernel,
+        seed=args.seed,
+        corpus_size=args.corpus_size,
+        dataset_config=DatasetConfig(
+            mutations_per_test=args.mutations, seed=derive_seed(args.seed, "d")
+        ),
+        pmm_config=PMMConfig(dim=args.dim, seed=derive_seed(args.seed, "m")),
+        train_config=TrainConfig(
+            epochs=args.epochs, seed=derive_seed(args.seed, "t")
+        ),
+    )
+    if trained.validation is not None:
+        print(f"validation F1: {trained.validation.f1:.3f} "
+              f"(threshold {trained.model.decision_threshold:.2f})")
+    save_pmm(args.out, trained.model, trained.vocab, kernel.table)
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    config = CampaignConfig(
+        horizon=args.hours * 3600.0,
+        runs=1,
+        seed=args.seed,
+        seed_corpus_size=args.seed_corpus,
+        sample_interval=max(args.hours * 3600.0 / 16.0, 60.0),
+    )
+    run_seed = derive_seed(args.seed, "cli-fuzz", kernel.version)
+    if args.baseline:
+        loop = _build_syzkaller_loop(kernel, run_seed, config)
+        label = "syzkaller"
+    else:
+        if not args.model:
+            print("--model is required unless --baseline is given",
+                  file=sys.stderr)
+            return 2
+        model, vocab, encoder = load_pmm(args.model, kernel.table)
+        trained = TrainedPMM(
+            model=model, encoder=encoder, vocab=vocab,
+            dataset=None, validation=None,
+        )
+        loop = _build_snowplow_loop(kernel, trained, run_seed, config)
+        label = "snowplow"
+    seeds = ProgramGenerator(
+        kernel.table, split(run_seed, "seed-corpus")
+    ).seed_corpus(config.seed_corpus_size)
+    loop.seed(seeds)
+    stats = loop.run()
+    print(f"[{label}] {args.hours:.1f} virtual hours on {kernel.version}: "
+          f"{stats.final_edges} edges, {stats.final_blocks} blocks, "
+          f"{stats.executions} executions, corpus {stats.corpus_size}")
+    for observation in stats.observations[:: max(len(stats.observations) // 8, 1)]:
+        print(f"  t={observation.time / 3600.0:5.2f}h "
+              f"edges={observation.edges}")
+    for crash in stats.crashes:
+        tag = "NEW" if crash.is_new else "known"
+        print(f"  crash [{tag}] {crash.signature}")
+    return 0
+
+
+def _cmd_exec(args) -> int:
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    with open(args.prog) as handle:
+        program = parse_program(handle.read(), kernel.table)
+    result = Executor(kernel, seed=args.seed).run(program)
+    print(f"{len(result.coverage.blocks)} blocks, "
+          f"{len(result.coverage.edges)} edges covered")
+    print(f"returns: {result.retvals}")
+    if result.crash is not None:
+        print(f"CRASH: {result.crash.description}")
+        return 1
+    return 0
+
+
+def _cmd_triage(args) -> int:
+    from repro.fuzzer.crash import CrashTriage
+    from repro.kernel import symbolize
+
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    with open(args.prog) as handle:
+        program = parse_program(handle.read(), kernel.table)
+    executor = Executor(kernel, seed=args.seed)
+    result = executor.run(program)
+    if result.crash is None:
+        print("program does not crash the kernel")
+        return 1
+    triage = CrashTriage(executor, set())
+    crash = triage.observe(program, result.crash)
+    if crash is None:
+        print(f"crash filtered by triage rules: {result.crash.description}")
+        return 1
+    print(f"signature: {crash.signature}")
+    print(f"category:  {crash.category.value}")
+    print(symbolize(kernel, result.crash).report())
+    reproducer = triage.reproduce(crash)
+    if reproducer is None:
+        print("no reproducer (crash does not replay)")
+        return 0
+    print(f"minimised reproducer ({len(reproducer)} calls):")
+    print(serialize_program(reproducer))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Snowplow reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-kernel", help="build and describe a kernel")
+    _add_kernel_args(p)
+    p.set_defaults(func=_cmd_build_kernel)
+
+    p = sub.add_parser("train", help="train PMM and write a checkpoint")
+    _add_kernel_args(p)
+    p.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--corpus-size", type=int, default=120)
+    p.add_argument("--mutations", type=int, default=120)
+    p.add_argument("--epochs", type=int, default=4)
+    p.add_argument("--dim", type=int, default=32)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("fuzz", help="run a fuzzing campaign")
+    _add_kernel_args(p)
+    p.add_argument("--model", help="PMM checkpoint (Snowplow mode)")
+    p.add_argument("--baseline", action="store_true",
+                   help="run plain Syzkaller instead of Snowplow")
+    p.add_argument("--hours", type=float, default=1.0,
+                   help="virtual hours to fuzz")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed-corpus", type=int, default=100)
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser("exec", help="execute a syz-format program")
+    _add_kernel_args(p)
+    p.add_argument("--prog", required=True, help="program file")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_exec)
+
+    p = sub.add_parser("triage", help="triage + minimise a crashing program")
+    _add_kernel_args(p)
+    p.add_argument("--prog", required=True, help="program file")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_triage)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

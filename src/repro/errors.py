@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecError(ReproError):
+    """A syscall specification is malformed or internally inconsistent."""
+
+
+class ParseError(ReproError):
+    """A syz-format program could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ProgramError(ReproError):
+    """A program value violates its specification (bad arity, type, resource)."""
+
+
+class KernelBuildError(ReproError):
+    """The synthetic kernel could not be constructed from its config."""
+
+
+class ExecutionError(ReproError):
+    """The kernel executor was driven incorrectly (not a guest crash)."""
+
+
+class MutationError(ReproError):
+    """A mutation could not be applied at the requested location."""
+
+
+class GraphError(ReproError):
+    """A mutation-query graph is malformed or references unknown entities."""
+
+
+class ModelError(ReproError):
+    """PMM model construction, training, or inference failed."""
+
+
+class DatasetError(ReproError):
+    """The mutation dataset pipeline was misconfigured or produced no data."""
+
+
+class CampaignError(ReproError):
+    """A fuzzing campaign/experiment harness was misconfigured."""

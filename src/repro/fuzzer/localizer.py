@@ -1,0 +1,96 @@
+"""Argument-mutation localizers.
+
+A localizer answers the *where* question of Figure 1: given the test to
+mutate (and optionally its kernel coverage and a desired target), pick
+which argument(s) to mutate.  The fuzzer ships two heuristic localizers;
+the learned one (PMM) lives in :mod:`repro.snowplow.fuzzer` and plugs in
+through the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.kernel.coverage import Coverage
+from repro.syzlang.program import ArgPath, Program
+
+__all__ = ["Localizer", "RandomLocalizer", "SyzkallerLocalizer"]
+
+
+class Localizer(Protocol):
+    """The localization interface (Figure 1's ``localizer`` function)."""
+
+    def localize(
+        self,
+        program: Program,
+        coverage: Coverage | None,
+        targets: set[int] | None,
+        rng: np.random.Generator,
+    ) -> list[ArgPath]:
+        """Argument paths to mutate, most promising first."""
+        ...
+
+
+class RandomLocalizer:
+    """Uniformly random choice of K distinct argument sites.
+
+    This is the paper's ``Rand.K`` baseline (Table 1, K=8).
+    """
+
+    def __init__(self, k: int = 8):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def localize(self, program, coverage, targets, rng) -> list[ArgPath]:
+        """K distinct argument sites chosen uniformly at random."""
+        sites = program.mutation_sites()
+        if not sites:
+            return []
+        count = min(self.k, len(sites))
+        picks = rng.permutation(len(sites))[:count]
+        return [sites[int(pick)] for pick in picks]
+
+
+class SyzkallerLocalizer:
+    """Syzkaller's default heuristic: target-agnostic, arity-biased.
+
+    Per §2, the default localizer "ignores the target, and ... randomly
+    picks an argument from the system call with the largest arity": calls
+    are weighted by how many mutable sites they expose, then one site of
+    the chosen call is picked uniformly.
+    """
+
+    def __init__(self, k: int = 1):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def localize(self, program, coverage, targets, rng) -> list[ArgPath]:
+        """Arity-biased site choice (Syzkaller's default heuristic)."""
+        sites = program.mutation_sites()
+        if not sites:
+            return []
+        by_call: dict[int, list[ArgPath]] = {}
+        for site in sites:
+            by_call.setdefault(site.call_index, []).append(site)
+        call_indices = sorted(by_call)
+        weights = np.array(
+            [len(by_call[index]) for index in call_indices], dtype=float
+        )
+        weights /= weights.sum()
+        picked: list[ArgPath] = []
+        for _ in range(self.k):
+            call_index = call_indices[int(rng.choice(len(call_indices), p=weights))]
+            call_sites = by_call[call_index]
+            picked.append(call_sites[int(rng.integers(len(call_sites)))])
+        # De-duplicate while preserving order.
+        unique: list[ArgPath] = []
+        seen: set[ArgPath] = set()
+        for site in picked:
+            if site not in seen:
+                seen.add(site)
+                unique.append(site)
+        return unique

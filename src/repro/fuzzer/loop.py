@@ -1,0 +1,184 @@
+"""The main fuzzing loop (Figure 1's ``fuzz_corpus``).
+
+The loop runs against the virtual clock: every mutation, execution, and
+VM reset charges its cost, and coverage is sampled on a fixed virtual
+cadence so campaigns produce the coverage-over-time series of Figure 6.
+``FuzzLoop`` is the Syzkaller baseline; Snowplow subclasses it to route
+argument localization through asynchronous PMM inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.fuzzer.corpus import Corpus, CorpusEntry
+from repro.fuzzer.crash import CrashTriage, TriagedCrash
+from repro.fuzzer.engine import MutationEngine, MutationOutcome, MutationType
+from repro.kernel.build import Kernel
+from repro.kernel.coverage import Coverage
+from repro.kernel.executor import Executor
+from repro.syzlang.program import Program
+from repro.vclock import CostModel, VirtualClock
+
+__all__ = ["FuzzLoop", "FuzzObservation", "FuzzStats"]
+
+
+@dataclass(frozen=True)
+class FuzzObservation:
+    """One point of the coverage-over-time series."""
+
+    time: float
+    edges: int
+    blocks: int
+    executions: int
+
+
+@dataclass
+class FuzzStats:
+    """Everything a campaign reports about one fuzzer run."""
+
+    observations: list[FuzzObservation] = field(default_factory=list)
+    crashes: list[TriagedCrash] = field(default_factory=list)
+    executions: int = 0
+    mutations: dict[str, int] = field(default_factory=dict)
+    corpus_size: int = 0
+
+    @property
+    def final_edges(self) -> int:
+        """Edge coverage at the end of the run."""
+        return self.observations[-1].edges if self.observations else 0
+
+    @property
+    def final_blocks(self) -> int:
+        """Block coverage at the end of the run."""
+        return self.observations[-1].blocks if self.observations else 0
+
+    def time_to_edges(self, edges: int) -> float | None:
+        """First virtual time at which coverage reached ``edges``."""
+        for observation in self.observations:
+            if observation.edges >= edges:
+                return observation.time
+        return None
+
+
+class FuzzLoop:
+    """Coverage-guided fuzzing against a synthetic kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        engine: MutationEngine,
+        executor: Executor,
+        triage: CrashTriage,
+        clock: VirtualClock,
+        cost: CostModel,
+        rng: np.random.Generator,
+        sample_interval: float = 300.0,
+    ):
+        self.kernel = kernel
+        self.engine = engine
+        self.executor = executor
+        self.triage = triage
+        self.clock = clock
+        self.cost = cost
+        self.rng = rng
+        self.sample_interval = sample_interval
+        self.corpus = Corpus()
+        self.accumulated = Coverage()
+        self.stats = FuzzStats()
+        self._last_sample = -sample_interval
+
+    # ----- setup -----
+
+    def seed(self, programs: list[Program]) -> None:
+        """Execute the initial seed corpus and admit its coverage."""
+        if not programs:
+            raise CampaignError("seed corpus must not be empty")
+        for program in programs:
+            result = self._execute(program)
+            if result is None:
+                continue
+            new_edges = result.coverage.new_edges(self.accumulated)
+            self.accumulated.merge(result.coverage)
+            self.corpus.add(
+                program, result.coverage, signal=len(new_edges),
+                hints=frozenset(result.comparison_operands),
+            )
+
+    # ----- the loop -----
+
+    def run(self) -> FuzzStats:
+        """Fuzz until the virtual clock reaches its horizon."""
+        if not self.corpus.entries:
+            raise CampaignError("seed() must be called before run()")
+        while not self.clock.expired():
+            self._sample()
+            entry = self.corpus.choose(self.rng)
+            outcome = self.propose_mutation(entry)
+            if outcome is None:
+                continue
+            self._run_candidate(entry, outcome)
+        self._sample(force=True)
+        self.stats.corpus_size = len(self.corpus)
+        return self.stats
+
+    def propose_mutation(self, entry: CorpusEntry) -> MutationOutcome | None:
+        """One mutation of the chosen base test.
+
+        Subclasses (Snowplow) override this to consult the learned
+        localizer; returning None skips the iteration (time must have
+        been charged by the override to guarantee progress).
+        """
+        self.clock.advance(self.cost.mutation, "mutation")
+        return self.engine.mutate_test(
+            entry.program, entry.coverage, hints=entry.hints
+        )
+
+    # ----- internals -----
+
+    def _run_candidate(self, entry: CorpusEntry, outcome: MutationOutcome) -> None:
+        type_name = outcome.mutation_type.value
+        self.stats.mutations[type_name] = (
+            self.stats.mutations.get(type_name, 0) + 1
+        )
+        result = self._execute(outcome.program)
+        if result is None:
+            return
+        if result.crash is not None:
+            crash = self.triage.observe(outcome.program, result.crash)
+            if crash is not None:
+                self.clock.advance(self.cost.triage, "triage")
+                self.stats.crashes.append(crash)
+        new_edges = result.coverage.new_edges(self.accumulated)
+        if new_edges:
+            self.accumulated.merge(result.coverage)
+            self.corpus.add(
+                outcome.program, result.coverage, signal=len(new_edges),
+                hints=frozenset(result.comparison_operands),
+            )
+            self.on_new_coverage(entry, outcome, result.coverage)
+
+    def on_new_coverage(self, entry, outcome, coverage) -> None:
+        """Hook for subclasses; default does nothing."""
+
+    def _execute(self, program: Program):
+        if self.clock.expired():
+            return None
+        self.clock.advance(self.cost.test_execution, "execution")
+        self.stats.executions += 1
+        return self.executor.run(program)
+
+    def _sample(self, force: bool = False) -> None:
+        if force or self.clock.now - self._last_sample >= self.sample_interval:
+            self._last_sample = self.clock.now
+            self.stats.observations.append(
+                FuzzObservation(
+                    time=self.clock.now,
+                    edges=len(self.accumulated.edges),
+                    blocks=len(self.accumulated.blocks),
+                    executions=self.stats.executions,
+                )
+            )

@@ -1,0 +1,218 @@
+"""Mutation types and the argument instantiator.
+
+The instantiator implements Syzkaller's per-type "palette" of argument
+mutations (§2): randomize a flag word, replace an integer with an
+interesting constant, resize or rewrite a buffer, re-point a resource,
+deliberately desynchronise a length field, and so on.  Localization (the
+*where*) is someone else's job — see :mod:`repro.fuzzer.localizer` — the
+instantiator only decides *how* to rewrite the value at a given path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import MutationError
+from repro.syzlang.generator import ProgramGenerator
+from repro.syzlang.program import (
+    ArgPath,
+    ArrayValue,
+    BufferValue,
+    IntValue,
+    Program,
+    PtrValue,
+    ResourceValue,
+    StructValue,
+    Value,
+)
+from repro.syzlang.types import (
+    BufferKind,
+    BufferType,
+    FlagsType,
+    IntType,
+    LenType,
+    ResourceType,
+)
+
+__all__ = ["MutationType", "ArgumentInstantiator"]
+
+
+class MutationType(enum.Enum):
+    """The high-level mutation palette (Figure 1's type selection)."""
+
+    ARGUMENT_MUTATION = "argument_mutation"
+    SYSCALL_INSERTION = "syscall_insertion"
+    SYSCALL_REMOVAL = "syscall_removal"
+
+
+class ArgumentInstantiator:
+    """Rewrites the argument value at a chosen path.
+
+    ``hints`` are comparison operands observed while executing the base
+    test (KCOV_CMP feedback): Syzkaller replaces integers with operands
+    the kernel actually compared against, which is how exact-match
+    branch conditions become flippable in practice.
+    """
+
+    def __init__(self, generator: ProgramGenerator, rng: np.random.Generator):
+        self.generator = generator
+        self.rng = rng
+
+    def instantiate(
+        self,
+        program: Program,
+        path: ArgPath,
+        hints: set[int] | None = None,
+        hint_prob: float = 0.30,
+    ) -> None:
+        """Mutate ``program`` in place at ``path``.
+
+        Raises :class:`MutationError` if the path does not address a
+        mutable value.
+        """
+        value = program.get(path)
+        ty = value.ty
+        if isinstance(value, IntValue) and isinstance(ty, FlagsType):
+            value.value = self._mutate_flags(ty, value.value)
+        elif isinstance(value, IntValue) and isinstance(ty, LenType):
+            value.value = self._mutate_len(program, path, value.value, hints)
+        elif isinstance(value, IntValue) and isinstance(ty, IntType):
+            value.value = self._mutate_int(ty, value.value, hints, hint_prob)
+        elif isinstance(value, BufferValue):
+            value.data = self._mutate_buffer(ty, value.data)
+        elif isinstance(value, ResourceValue):
+            self._mutate_resource(program, path, value)
+        else:
+            raise MutationError(
+                f"value at {path} ({type(value).__name__}) is not mutable"
+            )
+
+    # ----- per-type strategies -----
+
+    def _pick_hint(self, ty: IntType, hints: set[int]) -> int | None:
+        usable = [
+            h for h in hints if ty.minimum <= h <= ty.upper_bound
+        ]
+        if not usable:
+            return None
+        usable.sort()
+        return int(usable[int(self.rng.integers(len(usable)))])
+
+    def _mutate_int(
+        self, ty: IntType, old: int, hints: set[int] | None = None,
+        hint_prob: float = 0.30,
+    ) -> int:
+        roll = self.rng.random()
+        if hints and roll < hint_prob:
+            hinted = self._pick_hint(ty, hints)
+            if hinted is not None:
+                if ty.align > 1:
+                    hinted -= hinted % ty.align
+                return max(hinted, ty.minimum)
+        if ty.interesting and roll < 0.45:
+            # "Replace an integer with a constant": comparison-guided
+            # constants are the most productive integer strategy.
+            return int(ty.interesting[int(self.rng.integers(len(ty.interesting)))])
+        if roll < 0.55:
+            delta = int(self.rng.integers(1, 9))
+            sign = 1 if self.rng.random() < 0.5 else -1
+            new = old + sign * delta
+        elif roll < 0.75:
+            new = 1 << int(self.rng.integers(0, ty.bits))
+        elif roll < 0.85:
+            new = old ^ (1 << int(self.rng.integers(0, ty.bits)))
+        else:
+            value = IntValue(ty, 0)
+            value.value = self.generator._random_int(ty)
+            new = value.value
+        new = min(max(new, ty.minimum), ty.upper_bound)
+        if ty.align > 1:
+            new -= new % ty.align
+            new = max(new, ty.minimum)
+        return new
+
+    def _mutate_flags(self, ty: FlagsType, old: int) -> int:
+        bits = [bit for _, bit in ty.flags if bit]
+        if not bits:
+            return old
+        roll = self.rng.random()
+        if roll < 0.35:
+            # Toggle one flag.
+            return old ^ bits[int(self.rng.integers(len(bits)))]
+        if roll < 0.65:
+            # Set a fresh combination of 1-3 flags.
+            count = int(self.rng.integers(1, min(3, len(bits)) + 1))
+            picks = self.rng.permutation(len(bits))[:count]
+            new = 0
+            for pick in picks:
+                new |= bits[int(pick)]
+            return new
+        if roll < 0.80:
+            return ty.all_bits()
+        if roll < 0.90:
+            return 0
+        return int(self.rng.integers(0, 1 << min(ty.bits, 16)))
+
+    def _mutate_len(
+        self,
+        program: Program,
+        path: ArgPath,
+        old: int,
+        hints: set[int] | None = None,
+    ) -> int:
+        roll = self.rng.random()
+        if hints and roll < 0.20:
+            usable = sorted(h for h in hints if 0 <= h < 1 << 32)
+            if usable:
+                hinted = int(usable[int(self.rng.integers(len(usable)))])
+                # Exceed the compared bound: length checks are usually
+                # "len > limit" guards.
+                return hinted + 1
+        if roll < 0.35:
+            # Deliberate desync: a length larger than the real buffer —
+            # the pattern that triggers the ATA out-of-bounds write.
+            return 1 << int(self.rng.integers(4, 17))
+        if roll < 0.55:
+            return 0
+        if roll < 0.75:
+            return max(0, old + int(self.rng.integers(-4, 5)))
+        # Re-synchronise with the sibling buffer.
+        program.resolve_len_fields()
+        refreshed = program.get(path)
+        assert isinstance(refreshed, IntValue)
+        return refreshed.value
+
+    def _mutate_buffer(self, ty: BufferType, old: bytes) -> bytes:
+        roll = self.rng.random()
+        if ty.values and roll < 0.30:
+            return bytes(ty.values[int(self.rng.integers(len(ty.values)))])
+        if roll < 0.60:
+            # Resize across the full permitted range (bug guards often
+            # test extreme lengths random generation never produces).
+            length = int(self.rng.integers(ty.min_len, ty.max_len + 1))
+            if length <= len(old):
+                return old[:length]
+            pad = self.rng.integers(0, 256, size=length - len(old), dtype=np.uint8)
+            return old + bytes(pad)
+        if roll < 0.85 and old:
+            data = bytearray(old)
+            index = int(self.rng.integers(len(data)))
+            data[index] = int(self.rng.integers(256))
+            return bytes(data)
+        length = int(self.rng.integers(ty.min_len, min(ty.max_len, 32) + 1))
+        return bytes(self.rng.integers(0, 256, size=length, dtype=np.uint8))
+
+    def _mutate_resource(
+        self, program: Program, path: ArgPath, value: ResourceValue
+    ) -> None:
+        assert isinstance(value.ty, ResourceType)
+        needed = value.ty.resource
+        candidates: list[int | None] = [None]
+        for index in range(path.call_index):
+            produced = program.calls[index].spec.produces
+            if produced is not None and produced.compatible_with(needed):
+                candidates.append(index)
+        choice = candidates[int(self.rng.integers(len(candidates)))]
+        value.producer = choice

@@ -1,0 +1,90 @@
+"""Campaign instrumentation: per-mutation-type yield accounting.
+
+Understanding *where* a fuzzer's coverage comes from — argument
+mutations vs call insertions vs removals, and for Snowplow, guided
+bursts vs heuristic fallback — is how mutation policies get debugged and
+tuned.  :class:`YieldProbe` wraps any :class:`FuzzLoop` (including
+:class:`SnowplowLoop`) and attributes every new edge to the mutation
+that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fuzzer.loop import FuzzLoop
+
+__all__ = ["MutationYield", "YieldProbe"]
+
+
+@dataclass
+class MutationYield:
+    """Accumulated outcome of one mutation class."""
+
+    mutations: int = 0
+    new_edges: int = 0
+    productive: int = 0  # mutations that found any new coverage
+
+    @property
+    def edges_per_mutation(self) -> float:
+        return self.new_edges / self.mutations if self.mutations else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.productive / self.mutations if self.mutations else 0.0
+
+
+@dataclass
+class YieldProbe:
+    """Attaches to a loop and breaks down coverage yield by mutation.
+
+    Usage::
+
+        probe = YieldProbe.attach(loop)
+        loop.seed(...); loop.run()
+        print(probe.report())
+
+    For :class:`~repro.snowplow.fuzzer.SnowplowLoop`, guided bursts are
+    reported separately from the heuristic fallback under the keys
+    ``argument_mutation(guided)`` and ``argument_mutation``.
+    """
+
+    yields: dict[str, MutationYield] = field(default_factory=dict)
+
+    @classmethod
+    def attach(cls, loop: FuzzLoop) -> "YieldProbe":
+        probe = cls()
+        original = loop._run_candidate
+
+        def instrumented(entry, outcome):
+            # Snowplow clears _active_burst inside _run_candidate, so the
+            # guided flag must be read before delegating.
+            guided = getattr(loop, "_active_burst", None) is not None
+            before = len(loop.accumulated.edges)
+            original(entry, outcome)
+            gained = len(loop.accumulated.edges) - before
+            key = outcome.mutation_type.value
+            if key == "argument_mutation" and guided:
+                key = "argument_mutation(guided)"
+            bucket = probe.yields.setdefault(key, MutationYield())
+            bucket.mutations += 1
+            bucket.new_edges += gained
+            if gained:
+                bucket.productive += 1
+
+        loop._run_candidate = instrumented  # type: ignore[method-assign]
+        return probe
+
+    def report(self) -> str:
+        """A per-class yield table."""
+        lines = [
+            f"{'mutation class':<28}{'n':>8}{'new edges':>11}"
+            f"{'edges/mut':>11}{'hit rate':>10}"
+        ]
+        for key in sorted(self.yields):
+            y = self.yields[key]
+            lines.append(
+                f"{key:<28}{y.mutations:>8}{y.new_edges:>11}"
+                f"{y.edges_per_mutation:>11.4f}{y.hit_rate:>10.4f}"
+            )
+        return "\n".join(lines)

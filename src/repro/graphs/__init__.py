@@ -1,0 +1,23 @@
+"""Argument-mutation query graphs (§3.2, Figure 5).
+
+The query graph is the single representation that joins the user-space
+test program and its kernel coverage: system-call and argument nodes on
+one side, covered and alternative (one-branch-away) kernel blocks on the
+other, tied together by kernel-user context-switch edges.  Targets —
+the blocks we *want* covered — are marked on alternative nodes.
+"""
+
+from repro.graphs.schema import EdgeKind, Node, NodeKind, QueryGraph
+from repro.graphs.build import build_query_graph
+from repro.graphs.encode import AsmVocab, EncodedGraph, GraphEncoder
+
+__all__ = [
+    "AsmVocab",
+    "EdgeKind",
+    "EncodedGraph",
+    "GraphEncoder",
+    "Node",
+    "NodeKind",
+    "QueryGraph",
+    "build_query_graph",
+]

@@ -1,0 +1,188 @@
+"""Build a mutation query graph from (program, coverage, targets).
+
+Follows §3.2 step by step:
+
+1. the test program becomes a tree of system-call and argument nodes
+   (every sub-level argument of nested structs enumerated), with call
+   ordering, argument ordering, and argument in/out (containment and
+   resource-flow) edges;
+2. the per-call coverage traces become covered block nodes joined by the
+   executed control-flow edges;
+3. the kernel's static CFG supplies *alternative path entry* nodes — the
+   uncovered blocks one not-taken branch away from the trace — attached
+   through uncovered edges, with the desired targets marked;
+4. kernel-user context-switch edges tie each system-call node to the
+   entry and exit blocks of its kernel path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.schema import EdgeKind, Node, NodeKind, QueryGraph
+from repro.kernel.build import Kernel
+from repro.kernel.coverage import Coverage
+from repro.syzlang.program import (
+    ArgPath,
+    Program,
+    PtrValue,
+    ResourceValue,
+)
+from repro.syzlang.slots import slot_id
+
+__all__ = ["build_query_graph"]
+
+
+def build_query_graph(
+    program: Program,
+    coverage: Coverage,
+    kernel: Kernel,
+    targets: set[int] | None = None,
+) -> QueryGraph:
+    """Assemble the Figure 5 graph for one mutation query.
+
+    ``coverage`` must carry per-call traces (i.e. come from a single
+    execution of ``program``).  ``targets`` is the set of desired kernel
+    block ids; they need not all be in the frontier — only those that are
+    will be marked.
+    """
+    if len(coverage.call_traces) > len(program.calls):
+        raise GraphError(
+            f"coverage has {len(coverage.call_traces)} call traces for a "
+            f"{len(program.calls)}-call program"
+        )
+    targets = targets or set()
+    graph = QueryGraph()
+
+    syscall_nodes = _add_program_tree(graph, program)
+    block_nodes = _add_coverage(graph, coverage, kernel)
+    _add_frontier(graph, coverage, kernel, block_nodes, targets)
+    _add_context_switches(graph, coverage, syscall_nodes, block_nodes)
+    return graph
+
+
+# ----- program side -----
+
+
+def _add_program_tree(graph: QueryGraph, program: Program) -> list[int]:
+    syscall_nodes: list[int] = []
+    producer_node: dict[int, int] = {}
+    for call_index, call in enumerate(program.calls):
+        spec = call.spec
+        syscall_node = graph.add_node(
+            Node(kind=NodeKind.SYSCALL, syscall_name=spec.full_name)
+        )
+        syscall_nodes.append(syscall_node)
+        producer_node[call_index] = syscall_node
+        if call_index > 0:
+            graph.add_edge(
+                syscall_nodes[call_index - 1], syscall_node,
+                EdgeKind.CALL_ORDER,
+            )
+        node_of_path: dict[tuple[int, ...], int] = {}
+        for path, value in program.walk_call(call_index):
+            arg_node = graph.add_node(
+                Node(
+                    kind=NodeKind.ARG,
+                    arg_kind=value.ty.kind,
+                    slot=slot_id(spec.full_name, path.elements),
+                    arg_path=path,
+                    mutable=value.ty.is_mutable()
+                    and not isinstance(value, PtrValue),
+                )
+            )
+            node_of_path[path.elements] = arg_node
+            if len(path.elements) == 1:
+                # Top-level argument: in/out edge with the call node.
+                graph.add_edge(syscall_node, arg_node, EdgeKind.ARG_INOUT)
+            else:
+                parent = node_of_path[path.elements[:-1]]
+                graph.add_edge(parent, arg_node, EdgeKind.ARG_INOUT)
+            if isinstance(value, ResourceValue) and value.producer is not None:
+                producing = producer_node.get(value.producer)
+                if producing is not None:
+                    graph.add_edge(producing, arg_node, EdgeKind.ARG_INOUT)
+        # Argument ordering: chain sibling top-level args in order.
+        top_level = [
+            node_of_path[elements]
+            for elements in sorted(
+                e for e in node_of_path if len(e) == 1
+            )
+        ]
+        for left, right in zip(top_level, top_level[1:]):
+            graph.add_edge(left, right, EdgeKind.ARG_ORDER)
+    return syscall_nodes
+
+
+# ----- kernel side -----
+
+
+def _add_coverage(
+    graph: QueryGraph, coverage: Coverage, kernel: Kernel
+) -> dict[int, int]:
+    """Covered block nodes plus executed control-flow edges."""
+    block_nodes: dict[int, int] = {}
+    seen_edges: set[tuple[int, int]] = set()
+    for trace in coverage.call_traces:
+        for block_id in trace:
+            if block_id not in block_nodes:
+                block = kernel.blocks.get(block_id)
+                block_nodes[block_id] = graph.add_node(
+                    Node(
+                        kind=NodeKind.COVERED,
+                        block_id=block_id,
+                        asm=block.asm if block is not None else (),
+                    )
+                )
+        for src, dst in zip(trace, trace[1:]):
+            if (src, dst) not in seen_edges:
+                seen_edges.add((src, dst))
+                graph.add_edge(
+                    block_nodes[src], block_nodes[dst],
+                    EdgeKind.COVERED_FLOW,
+                )
+    return block_nodes
+
+
+def _add_frontier(
+    graph: QueryGraph,
+    coverage: Coverage,
+    kernel: Kernel,
+    block_nodes: dict[int, int],
+    targets: set[int],
+) -> None:
+    covered = coverage.blocks
+    alternative_nodes: dict[int, int] = {}
+    for block_id in sorted(covered):
+        for succ in kernel.succs.get(block_id, ()):
+            if succ in covered:
+                continue
+            if succ not in alternative_nodes:
+                succ_block = kernel.blocks.get(succ)
+                alternative_nodes[succ] = graph.add_node(
+                    Node(
+                        kind=NodeKind.ALTERNATIVE,
+                        block_id=succ,
+                        asm=succ_block.asm if succ_block else (),
+                        target=succ in targets,
+                    )
+                )
+            graph.add_edge(
+                block_nodes[block_id], alternative_nodes[succ],
+                EdgeKind.UNCOVERED_FLOW,
+            )
+
+
+def _add_context_switches(
+    graph: QueryGraph,
+    coverage: Coverage,
+    syscall_nodes: list[int],
+    block_nodes: dict[int, int],
+) -> None:
+    for call_index, trace in enumerate(coverage.call_traces):
+        if not trace or call_index >= len(syscall_nodes):
+            continue
+        syscall_node = syscall_nodes[call_index]
+        entry_node = block_nodes[trace[0]]
+        exit_node = block_nodes[trace[-1]]
+        graph.add_edge(syscall_node, entry_node, EdgeKind.CONTEXT_SWITCH)
+        graph.add_edge(exit_node, syscall_node, EdgeKind.CONTEXT_SWITCH)

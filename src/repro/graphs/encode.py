@@ -1,0 +1,207 @@
+"""Numeric encoding of query graphs for the model.
+
+Per §3.3, vertices are embedded by *content class*:
+
+- kernel blocks as their assembly token sequences (fed to the
+  Transformer encoder),
+- system calls as variant-name tokens over a syscall vocabulary,
+- arguments as (argument-kind, slot) token pairs — types only, never
+  literal values,
+- edges as type ids; every edge is mirrored so messages flow both ways,
+  with the reverse direction getting its own relation id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.schema import EdgeKind, NodeKind, QueryGraph
+from repro.kernel.build import Kernel
+from repro.syzlang.program import ArgPath
+from repro.syzlang.slots import SLOT_SPACE
+from repro.syzlang.spec import SyscallTable
+from repro.syzlang.types import ArgKind
+
+__all__ = ["AsmVocab", "GraphEncoder", "EncodedGraph"]
+
+PAD, UNK, MASK = 0, 1, 2
+_SPECIALS = ("<pad>", "<unk>", "<mask>")
+
+MAX_ASM_LEN = 16
+
+_NODE_KIND_IDS = {
+    NodeKind.SYSCALL: 0,
+    NodeKind.ARG: 1,
+    NodeKind.COVERED: 2,
+    NodeKind.ALTERNATIVE: 3,
+}
+
+_EDGE_KIND_IDS = {kind: index for index, kind in enumerate(EdgeKind)}
+NUM_EDGE_TYPES = 2 * len(EdgeKind)  # forward + reverse relations
+
+_ARG_KIND_IDS = {kind: index for index, kind in enumerate(ArgKind)}
+
+
+@dataclass
+class AsmVocab:
+    """Token vocabulary over the synthetic kernel's assembly.
+
+    All 1024 slot tokens are always present (their id space is closed),
+    so argument-slot correspondences transfer across kernel versions;
+    other tokens come from the training kernel and map to ``<unk>`` on
+    unseen releases — mirroring how a real encoder meets new code.
+    """
+
+    token_to_id: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, kernel: Kernel) -> "AsmVocab":
+        tokens: set[str] = set()
+        for block in kernel.blocks.values():
+            tokens.update(block.asm)
+        ordered = list(_SPECIALS)
+        ordered.extend(f"off_{index:04x}" for index in range(SLOT_SPACE))
+        ordered.extend(
+            sorted(token for token in tokens if not token.startswith("off_"))
+        )
+        return cls(token_to_id={token: i for i, token in enumerate(ordered)})
+
+    def __len__(self) -> int:
+        return len(self.token_to_id)
+
+    def encode(self, tokens: tuple[str, ...], max_len: int = MAX_ASM_LEN) -> list[int]:
+        ids = [self.token_to_id.get(token, UNK) for token in tokens[:max_len]]
+        return ids + [PAD] * (max_len - len(ids))
+
+    def id_of(self, token: str) -> int:
+        return self.token_to_id.get(token, UNK)
+
+
+@dataclass
+class EncodedGraph:
+    """Array form of one query graph, ready for the model."""
+
+    node_kind: np.ndarray       # [n] int
+    syscall_id: np.ndarray      # [n] int (0 = none)
+    arg_kind_id: np.ndarray     # [n] int (0 = none)
+    slot: np.ndarray            # [n] int (0 = none)
+    target_flag: np.ndarray     # [n] float
+    asm_tokens: np.ndarray      # [n, MAX_ASM_LEN] int
+    edge_src: np.ndarray        # [e] int
+    edge_dst: np.ndarray        # [e] int
+    edge_type: np.ndarray       # [e] int
+    arg_mask: np.ndarray        # [n] bool — mutable argument nodes
+    arg_paths: list[ArgPath | None]
+    labels: np.ndarray | None = None  # [n] float, on arg_mask positions
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_kind)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_src)
+
+
+class GraphEncoder:
+    """Encodes :class:`QueryGraph` objects against fixed vocabularies."""
+
+    def __init__(self, asm_vocab: AsmVocab, table: SyscallTable):
+        self.asm_vocab = asm_vocab
+        # Syscall id 0 is reserved for "none"/unknown.
+        self.syscall_to_id = {
+            spec.full_name: index + 1
+            for index, spec in enumerate(
+                sorted(table.specs, key=lambda spec: spec.full_name)
+            )
+        }
+
+    @classmethod
+    def from_names(
+        cls, asm_vocab: AsmVocab, syscall_names: list[str]
+    ) -> "GraphEncoder":
+        """Rebuild an encoder from a checkpoint's syscall list.
+
+        Ids must match the training-time assignment exactly, so the
+        mapping is rebuilt from the recorded names rather than from
+        whatever table the deployment kernel carries (newer releases add
+        syscalls, which would shift ids).
+        """
+        encoder = cls.__new__(cls)
+        encoder.asm_vocab = asm_vocab
+        encoder.syscall_to_id = {
+            name: index + 1 for index, name in enumerate(sorted(syscall_names))
+        }
+        return encoder
+
+    @property
+    def num_syscalls(self) -> int:
+        return len(self.syscall_to_id) + 1
+
+    def encode(
+        self,
+        graph: QueryGraph,
+        labels: dict[ArgPath, bool] | None = None,
+    ) -> EncodedGraph:
+        """Encode one graph; ``labels`` maps argument paths to MUTATE."""
+        count = len(graph.nodes)
+        if count == 0:
+            raise GraphError("cannot encode an empty graph")
+        node_kind = np.zeros(count, dtype=np.int64)
+        syscall_id = np.zeros(count, dtype=np.int64)
+        arg_kind_id = np.zeros(count, dtype=np.int64)
+        slot = np.zeros(count, dtype=np.int64)
+        target_flag = np.zeros(count, dtype=np.float64)
+        asm_tokens = np.zeros((count, MAX_ASM_LEN), dtype=np.int64)
+        arg_mask = np.zeros(count, dtype=bool)
+        arg_paths: list[ArgPath | None] = [None] * count
+        label_array = np.zeros(count, dtype=np.float64)
+
+        for index, node in enumerate(graph.nodes):
+            node_kind[index] = _NODE_KIND_IDS[node.kind]
+            if node.kind is NodeKind.SYSCALL:
+                syscall_id[index] = self.syscall_to_id.get(node.syscall_name, 0)
+            elif node.kind is NodeKind.ARG:
+                assert node.arg_kind is not None
+                arg_kind_id[index] = _ARG_KIND_IDS[node.arg_kind] + 1
+                slot[index] = (node.slot % SLOT_SPACE) + 1 if node.slot >= 0 else 0
+                arg_mask[index] = node.mutable
+                arg_paths[index] = node.arg_path
+                if labels is not None and node.arg_path is not None:
+                    label_array[index] = float(
+                        labels.get(node.arg_path, False)
+                    )
+            else:
+                asm_tokens[index] = self.asm_vocab.encode(node.asm)
+                if node.target:
+                    target_flag[index] = 1.0
+
+        edge_src: list[int] = []
+        edge_dst: list[int] = []
+        edge_type: list[int] = []
+        for src, dst, kind in graph.edges:
+            forward = _EDGE_KIND_IDS[kind]
+            edge_src.append(src)
+            edge_dst.append(dst)
+            edge_type.append(forward)
+            edge_src.append(dst)
+            edge_dst.append(src)
+            edge_type.append(forward + len(EdgeKind))
+
+        return EncodedGraph(
+            node_kind=node_kind,
+            syscall_id=syscall_id,
+            arg_kind_id=arg_kind_id,
+            slot=slot,
+            target_flag=target_flag,
+            asm_tokens=asm_tokens,
+            edge_src=np.asarray(edge_src, dtype=np.int64),
+            edge_dst=np.asarray(edge_dst, dtype=np.int64),
+            edge_type=np.asarray(edge_type, dtype=np.int64),
+            arg_mask=arg_mask,
+            arg_paths=arg_paths,
+            labels=label_array if labels is not None else None,
+        )

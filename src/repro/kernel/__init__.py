@@ -1,0 +1,43 @@
+"""The synthetic kernel substrate.
+
+The paper fuzzes real Linux releases under KCOV instrumentation.  This
+package substitutes a deterministic synthetic kernel (see DESIGN.md):
+every system-call variant gets a control-flow graph of basic blocks with
+x86-like assembly, branch predicates over the call's (possibly nested)
+argument values and over kernel state mutated by earlier calls, planted
+bugs guarded by deep argument constraints, and a coverage-collecting
+executor with VM-snapshot semantics.
+"""
+
+from repro.kernel.blocks import BasicBlock, BlockRole
+from repro.kernel.bugs import Bug, CrashKind, CrashReport
+from repro.kernel.conditions import ArgCondition, CondOp, StateCondition
+from repro.kernel.coverage import Coverage
+from repro.kernel.state import KernelState
+from repro.kernel.cfg import HandlerCFG
+from repro.kernel.build import Kernel, KernelBuilder, KernelConfig
+from repro.kernel.executor import ExecResult, Executor
+from repro.kernel.versions import build_kernel
+from repro.kernel.symbolize import SymbolizedCrash, symbolize
+
+__all__ = [
+    "ArgCondition",
+    "BasicBlock",
+    "BlockRole",
+    "Bug",
+    "CondOp",
+    "Coverage",
+    "CrashKind",
+    "CrashReport",
+    "ExecResult",
+    "Executor",
+    "HandlerCFG",
+    "Kernel",
+    "KernelBuilder",
+    "KernelConfig",
+    "KernelState",
+    "StateCondition",
+    "SymbolizedCrash",
+    "build_kernel",
+    "symbolize",
+]

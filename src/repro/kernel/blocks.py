@@ -1,0 +1,51 @@
+"""Kernel basic blocks and their synthetic assembly."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["BasicBlock", "BlockRole"]
+
+
+class BlockRole(enum.Enum):
+    """What a block does inside its handler CFG."""
+
+    ENTRY = "entry"
+    BODY = "body"
+    CONDITION = "condition"
+    EXIT_SUCCESS = "exit_success"
+    EXIT_ERROR = "exit_error"
+    CRASH = "crash"
+
+
+@dataclass
+class BasicBlock:
+    """One kernel basic block.
+
+    ``block_id`` is globally unique within a built kernel.  ``asm`` is the
+    block's synthetic x86-like assembly as a flat token tuple; condition
+    blocks embed the slot token of the argument they compare
+    (:mod:`repro.syzlang.slots`), which is the signal PMM learns from.
+    """
+
+    block_id: int
+    label: str
+    subsystem: str
+    role: BlockRole = BlockRole.BODY
+    asm: tuple[str, ...] = ()
+    # Condition for CONDITION blocks (ArgCondition | StateCondition).
+    condition: object | None = None
+    # Effects applied when the block executes: list of (key, value) pairs
+    # written to KernelState.flags.
+    effects: tuple[tuple[str, int], ...] = ()
+    # Bug planted on this block, if any (set for CRASH role).
+    bug: object | None = None
+    # Error number returned by EXIT_ERROR blocks.
+    errno: int = 0
+
+    def is_exit(self) -> bool:
+        return self.role in (BlockRole.EXIT_SUCCESS, BlockRole.EXIT_ERROR)
+
+    def __repr__(self) -> str:
+        return f"<block {self.block_id} {self.label} {self.role.value}>"

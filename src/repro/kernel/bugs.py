@@ -1,0 +1,113 @@
+"""Planted kernel bugs and crash reports.
+
+Bugs are blocks in handler CFGs guarded by argument/state constraints.
+Reaching a bug block crashes the guest.  Crash descriptions follow the
+kernel-oops phrasing that the paper's triage rules (§5.3.2) and crash
+categorisation (Table 3) key on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["CrashKind", "Bug", "CrashReport"]
+
+
+class CrashKind(enum.Enum):
+    """Crash manifestations, matching Table 3's categories."""
+
+    NULL_DEREF = "null pointer dereference"
+    PAGING_FAULT = "paging fault"
+    ASSERT = "explicit assertion violation"
+    GPF = "general protection fault"
+    OOB = "out of bounds access"
+    WARNING = "warning"
+    RCU_STALL = "rcu stall"
+    OTHER = "other"
+
+
+_DESCRIPTION_TEMPLATES = {
+    CrashKind.NULL_DEREF: "BUG: kernel NULL pointer dereference in {fn}",
+    CrashKind.PAGING_FAULT: "BUG: unable to handle page fault for address in {fn}",
+    CrashKind.ASSERT: "kernel BUG at {fn}!",
+    CrashKind.GPF: "general protection fault in {fn}",
+    CrashKind.OOB: "KASAN: slab-out-of-bounds Write in {fn}",
+    CrashKind.WARNING: "WARNING in {fn}",
+    CrashKind.RCU_STALL: "rcu detected expedited stall in {fn}",
+    CrashKind.OTHER: "unregister_netdevice: waiting for lo in {fn}",
+}
+
+
+@dataclass(frozen=True)
+class Bug:
+    """A planted kernel bug.
+
+    ``depth`` is the number of argument/state conditions guarding the bug
+    block — shallow bugs are easy for random mutation to hit, deep ones
+    (like the ATA pass-through bug, depth >= 4) effectively require
+    white-box argument localization.  ``known`` marks bugs present in the
+    synthetic "Syzbot list": crashes matching them do not count as new
+    discoveries in the Table 2 bookkeeping.
+    """
+
+    bug_id: str
+    kind: CrashKind
+    subsystem: str
+    function: str
+    depth: int
+    known: bool = False
+    # Whether the crash is deterministic given the triggering test.  The
+    # paper reproduces 57/87 crashes; concurrency-dependent crashes are
+    # modelled as non-reproducible.
+    reproducible: bool = True
+    # Memory-corrupting bugs (like the ATA out-of-bounds write of Table 4
+    # bug #1) overwrite arbitrary kernel pages, so they manifest as many
+    # distinct crash signatures at unrelated locations; the paper traces
+    # 45 of its 57 reproducible crashes back to this single bug.
+    corrupts_memory: bool = False
+
+    def description(self) -> str:
+        """The crash-report headline, styled after real kernel oopses."""
+        return _DESCRIPTION_TEMPLATES[self.kind].format(fn=self.function)
+
+    def corruption_description(self, rng) -> str:
+        """A randomized downstream manifestation of a memory corruptor.
+
+        Occasionally KASAN catches the write at its source, producing the
+        primary signature; otherwise the corruption surfaces later at an
+        unrelated victim function.
+        """
+        if rng.random() < 0.2:
+            return self.description()
+        kinds = (CrashKind.GPF, CrashKind.PAGING_FAULT, CrashKind.NULL_DEREF,
+                 CrashKind.OTHER)
+        weights = (0.55, 0.27, 0.12, 0.06)
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        victim = _CORRUPTION_VICTIMS[int(rng.integers(len(_CORRUPTION_VICTIMS)))]
+        return _DESCRIPTION_TEMPLATES[kind].format(fn=victim)
+
+
+_CORRUPTION_VICTIMS = (
+    "kmem_cache_alloc", "rcu_core", "__alloc_pages", "d_lookup",
+    "tcp_sendmsg_locked", "ep_poll_callback", "filemap_read",
+    "kfree_rcu_work", "task_work_run", "do_sys_poll", "inode_permission",
+    "vfs_write", "sk_buff_release", "timerqueue_add", "anon_vma_clone",
+    "__schedule", "handle_mm_fault", "generic_file_write_iter",
+    "security_file_permission", "tcp_v4_rcv", "skb_copy_datagram_iter",
+    "path_openat", "do_filp_open", "blk_mq_submit_bio",
+)
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """A crash observed during execution."""
+
+    bug: Bug
+    block_id: int
+    description: str
+
+    @property
+    def signature(self) -> str:
+        """Dedup key: crashes with the same signature are the same bug."""
+        return self.description

@@ -1,0 +1,133 @@
+"""Handler control-flow graphs and static analysis over them.
+
+Each system-call variant gets one :class:`HandlerCFG`: a rooted DAG of
+:class:`~repro.kernel.blocks.BasicBlock`.  Successor convention: a
+condition block has exactly two successors, ``succs[0]`` for the branch
+*not taken* (condition false) and ``succs[1]`` for *taken*; other blocks
+have at most one successor, and exit blocks have none.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import KernelBuildError
+from repro.kernel.blocks import BasicBlock, BlockRole
+
+__all__ = ["HandlerCFG"]
+
+
+@dataclass
+class HandlerCFG:
+    """The control-flow graph of one syscall handler."""
+
+    syscall: str
+    entry: int
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    succs: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def successors(self, block_id: int) -> tuple[int, ...]:
+        return self.succs.get(block_id, ())
+
+    def block_ids(self) -> list[int]:
+        return list(self.blocks)
+
+    def exits(self) -> list[int]:
+        return [bid for bid, blk in self.blocks.items() if blk.is_exit()]
+
+    def validate(self) -> None:
+        """Structural invariants; raises :class:`KernelBuildError`.
+
+        - the entry exists and every block is reachable from it,
+        - condition blocks have exactly 2 successors, exits none,
+          other blocks exactly one,
+        - the graph is acyclic (handlers never loop in this model),
+        - every successor id resolves to a block in this CFG.
+        """
+        if self.entry not in self.blocks:
+            raise KernelBuildError(f"{self.syscall}: entry block missing")
+        for block_id, block in self.blocks.items():
+            succs = self.successors(block_id)
+            for succ in succs:
+                if succ not in self.blocks:
+                    raise KernelBuildError(
+                        f"{self.syscall}: block {block_id} has unknown "
+                        f"successor {succ}"
+                    )
+            if block.role is BlockRole.CONDITION:
+                if len(succs) != 2:
+                    raise KernelBuildError(
+                        f"{self.syscall}: condition block {block_id} has "
+                        f"{len(succs)} successors"
+                    )
+            elif block.is_exit() or block.role is BlockRole.CRASH:
+                if succs:
+                    raise KernelBuildError(
+                        f"{self.syscall}: terminal block {block_id} has "
+                        "successors"
+                    )
+            elif len(succs) != 1:
+                raise KernelBuildError(
+                    f"{self.syscall}: block {block_id} has {len(succs)} "
+                    "successors, expected 1"
+                )
+        self._check_reachability()
+        self._check_acyclic()
+
+    def _check_reachability(self) -> None:
+        seen = {self.entry}
+        frontier = deque([self.entry])
+        while frontier:
+            block_id = frontier.popleft()
+            for succ in self.successors(block_id):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        unreachable = set(self.blocks) - seen
+        if unreachable:
+            raise KernelBuildError(
+                f"{self.syscall}: unreachable blocks {sorted(unreachable)}"
+            )
+
+    def _check_acyclic(self) -> None:
+        in_degree = {block_id: 0 for block_id in self.blocks}
+        for block_id in self.blocks:
+            for succ in self.successors(block_id):
+                in_degree[succ] += 1
+        ready = deque(
+            block_id for block_id, deg in in_degree.items() if deg == 0
+        )
+        visited = 0
+        while ready:
+            block_id = ready.popleft()
+            visited += 1
+            for succ in self.successors(block_id):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if visited != len(self.blocks):
+            raise KernelBuildError(f"{self.syscall}: CFG contains a cycle")
+
+    def depth_of(self, block_id: int) -> int:
+        """Number of condition blocks on the shortest entry path to
+        ``block_id`` — the "how hard to reach" metric used by the bug
+        planter and the directed-fuzzing analysis."""
+        best: dict[int, int] = {self.entry: 0}
+        frontier = deque([self.entry])
+        while frontier:
+            current = frontier.popleft()
+            bump = 1 if self.blocks[current].role is BlockRole.CONDITION else 0
+            for succ in self.successors(current):
+                cost = best[current] + bump
+                if succ not in best or cost < best[succ]:
+                    best[succ] = cost
+                    frontier.append(succ)
+        if block_id in best:
+            return best[block_id]
+        raise KernelBuildError(
+            f"{self.syscall}: block {block_id} unreachable from entry"
+        )

@@ -1,0 +1,185 @@
+"""Deterministic execution of test programs against a synthetic kernel.
+
+The executor reproduces the §3.1 data-collection environment: every test
+starts from the same initial kernel state (VM-snapshot semantics), calls
+run sequentially in a single thread, and — unless the ``noise`` knob is
+raised — no asynchronous kernel activity pollutes coverage.  Setting
+``noise > 0`` re-introduces the nondeterministic interrupt coverage the
+paper eliminates by replacing RPC with virtio, which the determinism
+ablation uses to quantify label noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.kernel.blocks import BlockRole
+from repro.kernel.build import Kernel
+from repro.kernel.bugs import CrashReport
+from repro.kernel.conditions import scalar_view
+from repro.kernel.coverage import Coverage
+from repro.kernel.state import KernelState
+from repro.rng import make_rng
+from repro.syzlang.program import Program, ResourceValue
+
+__all__ = ["ExecResult", "Executor"]
+
+_MAX_STEPS_PER_CALL = 100_000
+# Probability that a non-reproducible (concurrency-flavoured) bug fires
+# when its guarded block is reached.
+_FLAKY_TRIGGER_PROB = 0.35
+
+
+@dataclass
+class ExecResult:
+    """Outcome of executing one program."""
+
+    coverage: Coverage
+    crash: CrashReport | None = None
+    retvals: list[int] = field(default_factory=list)
+    blocks_executed: int = 0
+    # Operands of the compare instructions executed along the path —
+    # what KCOV's comparison tracing (KCOV_CMP) exposes to Syzkaller,
+    # which seeds integer mutations from them.
+    comparison_operands: set[int] = field(default_factory=set)
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+
+class Executor:
+    """Runs programs on a kernel, collecting coverage.
+
+    One executor can run many programs; each run gets a pristine
+    :class:`KernelState` (the VM snapshot is reloaded).
+    """
+
+    def __init__(self, kernel: Kernel, noise: float = 0.0, seed: int = 0):
+        if not 0.0 <= noise <= 1.0:
+            raise ExecutionError(f"noise must be in [0, 1], got {noise}")
+        self.kernel = kernel
+        self.noise = noise
+        self._rng = make_rng(seed)
+
+    def run(self, program: Program) -> ExecResult:
+        """Execute ``program`` from a fresh snapshot."""
+        state = KernelState()
+        retvals: list[int] = []
+        call_traces: list[list[int]] = []
+        crash: CrashReport | None = None
+        executed = 0
+        operands: set[int] = set()
+        for call_index, call in enumerate(program.calls):
+            flat = self._resolve_scalars(program, call_index, retvals)
+            trace, retval, crash = self._run_call(call, flat, state, operands)
+            executed += len(trace)
+            if self.noise > 0 and self._rng.random() < self.noise:
+                trace = self._inject_interrupt(trace)
+            call_traces.append(trace)
+            retvals.append(retval)
+            if crash is not None:
+                break
+        coverage = Coverage.from_traces(call_traces)
+        return ExecResult(
+            coverage=coverage,
+            crash=crash,
+            retvals=retvals,
+            blocks_executed=executed,
+            comparison_operands=operands,
+        )
+
+    # ----- internals -----
+
+    def _resolve_scalars(
+        self, program: Program, call_index: int, retvals: list[int]
+    ) -> dict[tuple[int, ...], int]:
+        """Scalar view of every argument path of one call.
+
+        Resource arguments resolve to the runtime handle returned by
+        their producer call (0 when the producer failed or is NULL).
+        """
+        flat: dict[tuple[int, ...], int] = {}
+        for path, value in program.walk_call(call_index):
+            if isinstance(value, ResourceValue):
+                producer = value.producer
+                if producer is None or producer >= len(retvals):
+                    flat[path.elements] = 0
+                else:
+                    flat[path.elements] = max(retvals[producer], 0)
+            else:
+                flat[path.elements] = scalar_view(value)
+        return flat
+
+    def _run_call(
+        self,
+        call,
+        flat: dict[tuple[int, ...], int],
+        state: KernelState,
+        operands: set[int] | None = None,
+    ) -> tuple[list[int], int, CrashReport | None]:
+        cfg = self.kernel.handlers.get(call.spec.full_name)
+        if cfg is None:
+            raise ExecutionError(
+                f"kernel {self.kernel.version} has no handler for "
+                f"{call.spec.full_name!r}"
+            )
+        trace: list[int] = []
+        current = cfg.entry
+        for _ in range(_MAX_STEPS_PER_CALL):
+            block = cfg.blocks[current]
+            trace.append(current)
+            for key, flag_value in block.effects:
+                state.flags[key] = flag_value
+            if block.role is BlockRole.CRASH:
+                bug = block.bug
+                assert bug is not None
+                triggers = bug.reproducible or (
+                    self._rng.random() < _FLAKY_TRIGGER_PROB
+                )
+                if triggers:
+                    if bug.corrupts_memory:
+                        description = bug.corruption_description(self._rng)
+                    else:
+                        description = bug.description()
+                    report = CrashReport(
+                        bug=bug, block_id=current, description=description,
+                    )
+                    return trace, -5, report
+                # Near-miss: the race window closed; fall through.
+                return trace, -5, None
+            if block.role is BlockRole.EXIT_SUCCESS:
+                retval = 0
+                produces = call.spec.produces
+                if produces is not None:
+                    retval = state.open_handle(kind=produces.name)
+                return trace, retval, None
+            if block.role is BlockRole.EXIT_ERROR:
+                return trace, -block.errno, None
+            succs = cfg.successors(current)
+            if block.role is BlockRole.CONDITION:
+                condition = block.condition
+                assert condition is not None
+                if operands is not None and hasattr(condition, "operand"):
+                    operands.add(condition.operand)
+                taken = condition.evaluate(flat, state)
+                current = succs[1] if taken else succs[0]
+            else:
+                current = succs[0]
+        raise ExecutionError(
+            f"handler {call.spec.full_name} exceeded {_MAX_STEPS_PER_CALL} "
+            "steps; the CFG is malformed"
+        )
+
+    def _inject_interrupt(self, trace: list[int]) -> list[int]:
+        """Splice the interrupt pseudo-handler into a call trace."""
+        irq = self.kernel.interrupt_trace
+        if not irq:
+            return trace
+        start = int(self._rng.integers(0, len(irq)))
+        slice_len = int(self._rng.integers(1, len(irq) - start + 1))
+        cut = int(self._rng.integers(0, len(trace) + 1))
+        return trace[:cut] + irq[start : start + slice_len] + trace[cut:]

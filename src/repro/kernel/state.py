@@ -1,0 +1,65 @@
+"""Mutable kernel state threaded through a test's execution.
+
+The executor creates a fresh state per test (VM-snapshot semantics,
+§3.1), so coverage is a deterministic function of the program.  State
+carries the file-descriptor table (resource handles produced by earlier
+calls), the synthetic filesystem, and a generic flag map that handler
+blocks write through their effects and read through
+:class:`~repro.kernel.conditions.StateCondition` — the mechanism that
+gives the synthetic kernel implicit cross-call dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelState", "FileObject", "HandleEntry"]
+
+
+@dataclass
+class FileObject:
+    """A file in the synthetic filesystem."""
+
+    name: bytes
+    size: int = 0
+    mode: int = 0o644
+    is_dir: bool = False
+
+
+@dataclass
+class HandleEntry:
+    """One open kernel object (fd)."""
+
+    handle: int
+    kind: str  # resource-kind name, e.g. "file_fd"
+    flags: int = 0
+    target: bytes = b""  # file name / device the handle refers to
+
+
+@dataclass
+class KernelState:
+    """Per-test kernel state (reset to the snapshot for every test)."""
+
+    handles: dict[int, HandleEntry] = field(default_factory=dict)
+    files: dict[bytes, FileObject] = field(default_factory=dict)
+    flags: dict[str, int] = field(default_factory=dict)
+    _next_handle: int = 3  # 0..2 are std{in,out,err}
+
+    def open_handle(self, kind: str, flags: int = 0, target: bytes = b"") -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        self.handles[handle] = HandleEntry(handle, kind, flags, target)
+        return handle
+
+    def close_handle(self, handle: int) -> bool:
+        return self.handles.pop(handle, None) is not None
+
+    def handle_valid(self, handle: int) -> bool:
+        return handle in self.handles
+
+    def touch_file(self, name: bytes, mode: int = 0o644) -> FileObject:
+        file_object = self.files.get(name)
+        if file_object is None:
+            file_object = FileObject(name=name, mode=mode)
+            self.files[name] = file_object
+        return file_object

@@ -1,0 +1,105 @@
+"""Crash symbolization (the syz-symbolize role, §5.3.2).
+
+The paper runs ``syz-symbolize`` on kernel console logs to locate the
+kernel code involved in each crash.  The synthetic analogue maps a crash
+report back to its handler, subsystem, and the guard-condition chain
+protecting the crash site — the information a developer needs to judge
+reachability and craft a patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.kernel.blocks import BlockRole
+from repro.kernel.build import Kernel
+from repro.kernel.bugs import CrashReport
+from repro.kernel.conditions import ArgCondition, StateCondition
+
+__all__ = ["SymbolizedCrash", "symbolize"]
+
+
+@dataclass
+class SymbolizedCrash:
+    """Where a crash lives and what guards it."""
+
+    bug_id: str
+    description: str
+    syscall: str
+    subsystem: str
+    block_label: str
+    depth: int
+    # The argument conditions on the shortest guard chain, innermost
+    # first: (syscall, path_elements, op, operand).
+    argument_guards: list[tuple[str, tuple[int, ...], str, int]] = field(
+        default_factory=list
+    )
+    # State flags that gate the path, if any.
+    state_guards: list[str] = field(default_factory=list)
+
+    def report(self) -> str:
+        """A human-readable symbolization report."""
+        lines = [
+            f"crash:     {self.description}",
+            f"bug id:    {self.bug_id}",
+            f"location:  {self.block_label} "
+            f"[{self.subsystem}] via {self.syscall}",
+            f"depth:     {self.depth} guarding conditions",
+        ]
+        for syscall, path, op, operand in self.argument_guards:
+            trail = ".".join(str(element) for element in path)
+            lines.append(
+                f"  guard: {syscall} arg {trail} {op} 0x{operand:x}"
+            )
+        for key in self.state_guards:
+            lines.append(f"  state: {key}")
+        return "\n".join(lines)
+
+
+def symbolize(kernel: Kernel, crash: CrashReport) -> SymbolizedCrash:
+    """Locate ``crash`` in the kernel and reconstruct its guard chain."""
+    block_id = crash.block_id
+    block = kernel.blocks.get(block_id)
+    if block is None:
+        raise ExecutionError(f"crash block {block_id} not in this kernel")
+    handler = kernel.handler_of_block.get(block_id, "")
+    cfg = kernel.handlers.get(handler)
+    argument_guards: list[tuple[str, tuple[int, ...], str, int]] = []
+    state_guards: list[str] = []
+    current = block_id
+    seen: set[int] = set()
+    while True:
+        conditional_preds = [
+            pred for pred in kernel.preds.get(current, ())
+            if kernel.blocks[pred].role is BlockRole.CONDITION
+            and pred not in seen
+        ]
+        if not conditional_preds:
+            break
+        pred = conditional_preds[0]
+        seen.add(pred)
+        condition = kernel.blocks[pred].condition
+        if isinstance(condition, ArgCondition):
+            argument_guards.append(
+                (
+                    condition.syscall,
+                    condition.path_elements,
+                    condition.op.value,
+                    condition.operand,
+                )
+            )
+        elif isinstance(condition, StateCondition):
+            state_guards.append(condition.key)
+        current = pred
+    depth = cfg.depth_of(block_id) if cfg is not None else len(argument_guards)
+    return SymbolizedCrash(
+        bug_id=crash.bug.bug_id,
+        description=crash.description,
+        syscall=handler,
+        subsystem=block.subsystem,
+        block_label=block.label,
+        depth=depth,
+        argument_guards=argument_guards,
+        state_guards=state_guards,
+    )

@@ -1,0 +1,98 @@
+"""Optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = parameters
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in parameters]
+
+    def step(self) -> None:
+        """Apply one (momentum) SGD update from stored gradients."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += parameter.grad
+                parameter.data -= self.lr * velocity
+            else:
+                parameter.data -= self.lr * parameter.grad
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+class Adam:
+    """Adam with bias correction and optional gradient clipping."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        clip_norm: float | None = 5.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in parameters]
+        self._v = [np.zeros_like(p.data) for p in parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update (with optional global-norm clipping)."""
+        self._step += 1
+        if self.clip_norm is not None:
+            self._clip_gradients()
+        correction1 = 1.0 - self.beta1**self._step
+        correction2 = 1.0 - self.beta2**self._step
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            if grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _clip_gradients(self) -> None:
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float((parameter.grad**2).sum())
+        norm = np.sqrt(total)
+        if norm > self.clip_norm:
+            scale = self.clip_norm / (norm + 1e-12)
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad *= scale
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()

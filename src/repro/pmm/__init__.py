@@ -1,0 +1,52 @@
+"""PMM — the Program Mutation Model (§3).
+
+The learned white-box localizer: a Transformer encoder embeds each kernel
+block's assembly (pre-trainable with a BERT-style masked-token objective,
+§3.3), learned tables embed system-call variants, argument kinds/slots,
+and edge types, and a relational GNN message-passes over the joint
+program+coverage graph.  A target-attention readout scores every mutable
+argument node MUTATE / NOT-MUTATE.
+
+The package also contains the §3.1 mutation-dataset pipeline, the
+training loop with F1-guided model selection, the Table 1 metrics, and a
+virtual-time inference service that reproduces the asynchronous serving
+architecture of §3.4/§5.5.
+"""
+
+from repro.pmm.asm_encoder import AsmEncoder
+from repro.pmm.model import PMM, PMMConfig
+from repro.pmm.dataset import (
+    DatasetConfig,
+    MutationDataset,
+    MutationExample,
+    MutationSample,
+    harvest_mutations,
+    make_examples,
+)
+from repro.pmm.metrics import SelectorMetrics, evaluate_selector, score_sets
+from repro.pmm.train import Trainer, TrainConfig
+from repro.pmm.serve import InferenceService, InferenceStats
+from repro.pmm.pretrain import masked_lm_pretrain
+from repro.pmm.checkpoint import load_pmm, save_pmm
+
+__all__ = [
+    "AsmEncoder",
+    "DatasetConfig",
+    "InferenceService",
+    "InferenceStats",
+    "MutationDataset",
+    "MutationExample",
+    "MutationSample",
+    "PMM",
+    "PMMConfig",
+    "SelectorMetrics",
+    "Trainer",
+    "TrainConfig",
+    "evaluate_selector",
+    "harvest_mutations",
+    "load_pmm",
+    "make_examples",
+    "masked_lm_pretrain",
+    "save_pmm",
+    "score_sets",
+]

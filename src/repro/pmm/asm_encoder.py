@@ -1,0 +1,70 @@
+"""The assembly-code Transformer encoder (θ_TRANSFORMER of §3.3).
+
+Embeds a kernel basic block — a short token sequence of x86-like
+assembly — into a fixed vector.  The encoder can be pre-trained on all
+assembly of a compiled kernel with the BERT masked-token recipe
+(:mod:`repro.pmm.pretrain`) before joining PMM's end-to-end training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.encode import MAX_ASM_LEN, PAD
+from repro.nn.init import normal_init
+from repro.nn.modules import Embedding, LayerNorm, Linear, Module, TransformerEncoderLayer
+from repro.nn.tensor import Tensor
+
+__all__ = ["AsmEncoder"]
+
+
+class AsmEncoder(Module):
+    """Transformer over assembly tokens with masked mean-pooling."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        heads: int,
+        layers: int,
+        rng: np.random.Generator,
+        max_len: int = MAX_ASM_LEN,
+    ):
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.token_embedding = Embedding(vocab_size, dim, rng)
+        self.position_embedding = Tensor(
+            normal_init(rng, (max_len, dim)), requires_grad=True
+        )
+        self.layers = [
+            TransformerEncoderLayer(dim, heads, 2 * dim, rng)
+            for _ in range(layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+
+    def encode_tokens(self, token_ids: np.ndarray) -> Tensor:
+        """Contextual token states [B, L, D] for ``token_ids`` [B, L]."""
+        pad_mask = (token_ids != PAD).astype(np.float64)
+        states = self.token_embedding(token_ids) + self.position_embedding
+        for layer in self.layers:
+            states = layer(states, pad_mask)
+        return self.final_norm(states)
+
+    def __call__(self, token_ids: np.ndarray) -> Tensor:
+        """Pooled block embeddings [B, D] (masked mean over real tokens)."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        states = self.encode_tokens(token_ids)
+        mask = (token_ids != PAD).astype(np.float64)[..., None]
+        denom = np.maximum(mask.sum(axis=1), 1.0)
+        pooled = (states * Tensor(mask)).sum(axis=1) * Tensor(1.0 / denom)
+        return pooled
+
+
+class MaskedLMHead(Module):
+    """Token-prediction head for BERT-style pretraining."""
+
+    def __init__(self, encoder: AsmEncoder, rng: np.random.Generator):
+        self.projection = Linear(encoder.dim, encoder.vocab_size, rng)
+
+    def __call__(self, states: Tensor) -> Tensor:
+        return self.projection(states)

@@ -1,0 +1,68 @@
+"""Selector performance metrics (Table 1).
+
+For each example, the true set ŷ is the ground-truth argument selection
+and y the model's prediction; per-example precision, recall, F1, and
+Jaccard are computed exactly as §5.1 defines and then averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SelectorMetrics", "score_sets", "evaluate_selector"]
+
+
+@dataclass
+class SelectorMetrics:
+    """Mean per-example metrics across an evaluation set."""
+
+    f1: float
+    precision: float
+    recall: float
+    jaccard: float
+    examples: int
+
+    def row(self, name: str) -> str:
+        """One Table 1 row."""
+        return (
+            f"{name:<10} {self.f1 * 100:5.1f}% {self.precision * 100:8.1f}% "
+            f"{self.recall * 100:6.1f}% {self.jaccard * 100:7.1f}%"
+        )
+
+
+def score_sets(predicted: set, truth: set) -> tuple[float, float, float, float]:
+    """(precision, recall, f1, jaccard) for one example."""
+    if not predicted and not truth:
+        return 1.0, 1.0, 1.0, 1.0
+    intersection = len(predicted & truth)
+    precision = intersection / len(predicted) if predicted else 0.0
+    recall = intersection / len(truth) if truth else 0.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    union = len(predicted | truth)
+    jaccard = intersection / union if union else 1.0
+    return precision, recall, f1, jaccard
+
+
+def evaluate_selector(predictions: list[set], truths: list[set]) -> SelectorMetrics:
+    """Average per-example metrics over parallel prediction/truth lists."""
+    if len(predictions) != len(truths):
+        raise ValueError(
+            f"{len(predictions)} predictions for {len(truths)} truths"
+        )
+    if not predictions:
+        raise ValueError("cannot evaluate an empty prediction set")
+    scores = np.array(
+        [score_sets(pred, truth) for pred, truth in zip(predictions, truths)]
+    )
+    return SelectorMetrics(
+        precision=float(scores[:, 0].mean()),
+        recall=float(scores[:, 1].mean()),
+        f1=float(scores[:, 2].mean()),
+        jaccard=float(scores[:, 3].mean()),
+        examples=len(predictions),
+    )

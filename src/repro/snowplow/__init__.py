@@ -1,0 +1,51 @@
+"""Snowplow: the hybrid fuzzer with the learned white-box mutator.
+
+Wires PMM into the fuzzer of :mod:`repro.fuzzer` as its argument
+localizer (§3.4): mutation queries are served asynchronously by a
+virtual-time inference service while the loop keeps mutating with the
+existing heuristics, predictions arriving later trigger bursts of
+argument mutations on the predicted paths, and a low-probability random
+argument localization remains as a fallback.
+
+The campaign harness runs the paper's experiments: repeated side-by-side
+coverage campaigns (Fig. 6), 7-day crash campaigns (Tables 2-4), and
+directed time-to-target sweeps (Table 5).
+"""
+
+from repro.snowplow.fuzzer import PMMLocalizer, SnowplowConfig, SnowplowLoop
+from repro.snowplow.campaign import (
+    CampaignConfig,
+    CoverageCampaignResult,
+    CrashCampaignResult,
+    run_coverage_campaign,
+    run_crash_campaign,
+    run_directed_campaign,
+    train_pmm,
+    TrainedPMM,
+)
+from repro.snowplow.reporting import (
+    format_fig6,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table5,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CoverageCampaignResult",
+    "CrashCampaignResult",
+    "PMMLocalizer",
+    "SnowplowConfig",
+    "SnowplowLoop",
+    "TrainedPMM",
+    "format_fig6",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table5",
+    "run_coverage_campaign",
+    "run_crash_campaign",
+    "run_directed_campaign",
+    "train_pmm",
+]

@@ -1,0 +1,454 @@
+"""Experiment harness: the paper's campaigns at laptop scale.
+
+Each function reproduces one experimental protocol:
+
+- :func:`train_pmm` — §5.1's pipeline: seed corpus → random-mutation
+  harvesting → PMM training with validation-F1 model selection;
+- :func:`run_coverage_campaign` — Fig. 6: repeated side-by-side 24-hour
+  (virtual) runs of Syzkaller vs Snowplow on one kernel, with the
+  speedup and final-coverage-improvement summaries;
+- :func:`run_crash_campaign` — Tables 2/3: long exhaustive campaigns with
+  crash triage, the known-crash (Syzbot) list, and reproducer minimisation;
+- :func:`run_directed_campaign` — Table 5: time-to-target for SyzDirect
+  vs Snowplow-D over a set of bug-related code locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.fuzzer.crash import CrashTriage, TriagedCrash
+from repro.fuzzer.directed import DirectedFuzzer, DirectedResult, SyzDirectLocalizer
+from repro.fuzzer.engine import MutationEngine, TypeSelector
+from repro.fuzzer.localizer import SyzkallerLocalizer
+from repro.fuzzer.loop import FuzzLoop, FuzzStats
+from repro.graphs.encode import AsmVocab, GraphEncoder
+from repro.kernel.blocks import BlockRole
+from repro.kernel.build import Kernel
+from repro.kernel.executor import Executor
+from repro.pmm.dataset import DatasetConfig, MutationDataset, harvest_mutations
+from repro.pmm.metrics import SelectorMetrics
+from repro.pmm.model import PMM, PMMConfig
+from repro.pmm.train import TrainConfig, Trainer
+from repro.rng import derive_seed, split
+from repro.snowplow.fuzzer import PMMLocalizer, SnowplowConfig, SnowplowLoop
+from repro.syzlang.generator import ProgramGenerator
+from repro.vclock import CostModel, VirtualClock
+
+__all__ = [
+    "CampaignConfig",
+    "CoverageCampaignResult",
+    "CrashCampaignResult",
+    "TrainedPMM",
+    "default_directed_targets",
+    "known_crash_signatures",
+    "run_coverage_campaign",
+    "run_crash_campaign",
+    "run_directed_campaign",
+    "train_pmm",
+]
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+def known_crash_signatures(kernel: Kernel) -> set[str]:
+    """The synthetic Syzbot backlog: signatures of all known bugs."""
+    return {bug.description() for bug in kernel.bugs if bug.known}
+
+
+@dataclass
+class TrainedPMM:
+    """A trained model with everything needed to deploy it."""
+
+    model: PMM
+    encoder: GraphEncoder
+    vocab: AsmVocab
+    dataset: MutationDataset
+    validation: SelectorMetrics | None
+
+
+def train_pmm(
+    kernel: Kernel,
+    seed: int = 0,
+    corpus_size: int = 120,
+    dataset_config: DatasetConfig | None = None,
+    pmm_config: PMMConfig | None = None,
+    train_config: TrainConfig | None = None,
+) -> TrainedPMM:
+    """The §5.1 training pipeline on one kernel."""
+    generator = ProgramGenerator(kernel.table, split(seed, "train-corpus"))
+    executor = Executor(kernel)
+    corpus = generator.seed_corpus(corpus_size)
+    dataset = harvest_mutations(
+        kernel, executor, generator, corpus,
+        dataset_config or DatasetConfig(seed=derive_seed(seed, "dataset")),
+    )
+    vocab = AsmVocab.build(kernel)
+    encoder = GraphEncoder(vocab, kernel.table)
+    model = PMM(
+        len(vocab), encoder.num_syscalls,
+        pmm_config or PMMConfig(seed=derive_seed(seed, "model")),
+    )
+    trainer = Trainer(
+        model, dataset, kernel, encoder,
+        train_config or TrainConfig(seed=derive_seed(seed, "train")),
+    )
+    reports = trainer.train()
+    validation = reports[-1].validation if reports else None
+    best = max(
+        (r.validation for r in reports if r.validation is not None),
+        key=lambda metrics: metrics.f1,
+        default=validation,
+    )
+    return TrainedPMM(
+        model=model, encoder=encoder, vocab=vocab, dataset=dataset,
+        validation=best,
+    )
+
+
+@dataclass
+class CampaignConfig:
+    """Shared experiment knobs."""
+
+    horizon: float = 24 * HOUR
+    runs: int = 5
+    seed: int = 0
+    seed_corpus_size: int = 60
+    sample_interval: float = 1800.0
+    cost: CostModel = field(default_factory=CostModel)
+    snowplow: SnowplowConfig = field(default_factory=SnowplowConfig)
+
+
+# ----- coverage (Fig. 6) -----
+
+
+@dataclass
+class CoverageCampaignResult:
+    """Per-run coverage series and the Fig. 6 summary numbers."""
+
+    kernel_version: str
+    horizon: float
+    syzkaller_runs: list[FuzzStats]
+    snowplow_runs: list[FuzzStats]
+
+    def _grid(self) -> np.ndarray:
+        return np.linspace(0.0, self.horizon, 97)
+
+    def _mean_series(self, runs: list[FuzzStats]) -> np.ndarray:
+        grid = self._grid()
+        curves = []
+        for stats in runs:
+            times = [obs.time for obs in stats.observations]
+            edges = [obs.edges for obs in stats.observations]
+            curves.append(np.interp(grid, times, edges))
+        return np.mean(curves, axis=0)
+
+    def _band(self, runs: list[FuzzStats]) -> tuple[np.ndarray, np.ndarray]:
+        grid = self._grid()
+        curves = []
+        for stats in runs:
+            times = [obs.time for obs in stats.observations]
+            edges = [obs.edges for obs in stats.observations]
+            curves.append(np.interp(grid, times, edges))
+        stacked = np.vstack(curves)
+        return stacked.min(axis=0), stacked.max(axis=0)
+
+    @property
+    def syzkaller_final_mean(self) -> float:
+        return float(
+            np.mean([stats.final_edges for stats in self.syzkaller_runs])
+        )
+
+    @property
+    def snowplow_final_mean(self) -> float:
+        return float(
+            np.mean([stats.final_edges for stats in self.snowplow_runs])
+        )
+
+    @property
+    def coverage_improvement(self) -> float:
+        """Fig. 6d: final-coverage improvement of Snowplow, in percent."""
+        baseline = self.syzkaller_final_mean
+        if baseline == 0:
+            return 0.0
+        return 100.0 * (self.snowplow_final_mean - baseline) / baseline
+
+    @property
+    def speedup(self) -> float:
+        """Fig. 6a-c: horizon / time for Snowplow's mean curve to reach
+        Syzkaller's final mean coverage (inf if it gets there instantly,
+        <1 if it never does within the horizon)."""
+        target = self.syzkaller_final_mean
+        grid = self._grid()
+        snow = self._mean_series(self.snowplow_runs)
+        reached = np.nonzero(snow >= target)[0]
+        if len(reached) == 0:
+            return float(self.snowplow_final_mean >= target)
+        time_to = grid[reached[0]]
+        if time_to <= 0:
+            return float("inf")
+        return self.horizon / time_to
+
+    def discovery_auc_ratio(self) -> float:
+        """Area under the mean coverage curve, Snowplow over Syzkaller.
+
+        >1 means Snowplow held more coverage through the campaign —
+        i.e. discovered it earlier — even where finals converge.
+        """
+        snow = self._mean_series(self.snowplow_runs)
+        syz = self._mean_series(self.syzkaller_runs)
+        denominator = float(syz.sum())
+        if denominator == 0:
+            return 1.0
+        return float(snow.sum()) / denominator
+
+    def bands_overlap_after(self, time: float) -> bool:
+        """Whether the min/max bands still overlap after ``time``."""
+        grid = self._grid()
+        _, syz_max = self._band(self.syzkaller_runs)
+        snow_min, _ = self._band(self.snowplow_runs)
+        mask = grid >= time
+        return bool((syz_max[mask] >= snow_min[mask]).any())
+
+
+def _build_syzkaller_loop(
+    kernel: Kernel, run_seed: int, config: CampaignConfig
+) -> FuzzLoop:
+    executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
+    generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
+    engine = MutationEngine(
+        TypeSelector(), SyzkallerLocalizer(k=1), generator,
+        split(run_seed, "mutate"),
+    )
+    triage = CrashTriage(executor, known_crash_signatures(kernel))
+    clock = VirtualClock(horizon=config.horizon)
+    return FuzzLoop(
+        kernel, engine, executor, triage, clock, config.cost,
+        split(run_seed, "loop"), sample_interval=config.sample_interval,
+    )
+
+
+def _build_snowplow_loop(
+    kernel: Kernel, trained: TrainedPMM, run_seed: int,
+    config: CampaignConfig, oracle: bool = False,
+) -> SnowplowLoop:
+    executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
+    generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
+    engine = MutationEngine(
+        TypeSelector(), SyzkallerLocalizer(k=1), generator,
+        split(run_seed, "mutate"),
+    )
+    triage = CrashTriage(executor, known_crash_signatures(kernel))
+    clock = VirtualClock(horizon=config.horizon)
+    if oracle:
+        from repro.snowplow.oracle import OracleLocalizer
+
+        localizer = OracleLocalizer(kernel)
+    else:
+        localizer = PMMLocalizer(
+            trained.model, trained.encoder, kernel, executor,
+            max_targets=config.snowplow.max_targets,
+            threshold=config.snowplow.prediction_threshold,
+        )
+    return SnowplowLoop(
+        kernel, engine, executor, triage, clock, config.cost,
+        split(run_seed, "loop"), sample_interval=config.sample_interval,
+        localizer=localizer, snowplow_config=config.snowplow,
+    )
+
+
+def run_coverage_campaign(
+    kernel: Kernel,
+    trained: TrainedPMM,
+    config: CampaignConfig,
+    oracle: bool = False,
+) -> CoverageCampaignResult:
+    """Fig. 6: repeated side-by-side runs with shared per-run seeds.
+
+    ``oracle=True`` swaps PMM for the perfect white-box localizer
+    (:mod:`repro.snowplow.oracle`) — the mechanism's upper bound.
+    """
+    syzkaller_runs: list[FuzzStats] = []
+    snowplow_runs: list[FuzzStats] = []
+    for run in range(config.runs):
+        run_seed = derive_seed(config.seed, "run", run, kernel.version)
+        seeds = ProgramGenerator(
+            kernel.table, split(run_seed, "seed-corpus")
+        ).seed_corpus(config.seed_corpus_size)
+        syz = _build_syzkaller_loop(kernel, run_seed, config)
+        syz.seed([program.clone() for program in seeds])
+        syzkaller_runs.append(syz.run())
+        snow = _build_snowplow_loop(
+            kernel, trained, run_seed, config, oracle=oracle
+        )
+        snow.seed([program.clone() for program in seeds])
+        snowplow_runs.append(snow.run())
+    return CoverageCampaignResult(
+        kernel_version=kernel.version,
+        horizon=config.horizon,
+        syzkaller_runs=syzkaller_runs,
+        snowplow_runs=snowplow_runs,
+    )
+
+
+# ----- crashes (Tables 2-4) -----
+
+
+@dataclass
+class CrashCampaignResult:
+    """One exhaustive (7-day-style) campaign's crash ledger."""
+
+    kernel_version: str
+    snowplow_crashes: list[list[TriagedCrash]]  # per run
+    syzkaller_crashes: list[list[TriagedCrash]]
+
+    @staticmethod
+    def _count(crashes: list[TriagedCrash], new: bool) -> int:
+        return sum(1 for crash in crashes if crash.is_new == new)
+
+    def table2_rows(self) -> dict[str, list[int]]:
+        """Counts in Table 2's layout (per run, per fuzzer)."""
+        return {
+            "snowplow_new": [
+                self._count(run, True) for run in self.snowplow_crashes
+            ],
+            "snowplow_known": [
+                self._count(run, False) for run in self.snowplow_crashes
+            ],
+            "syzkaller_new": [
+                self._count(run, True) for run in self.syzkaller_crashes
+            ],
+            "syzkaller_known": [
+                self._count(run, False) for run in self.syzkaller_crashes
+            ],
+        }
+
+    def unique_new_crashes(self) -> list[TriagedCrash]:
+        """New crashes across all Snowplow runs, deduplicated."""
+        seen: dict[str, TriagedCrash] = {}
+        for run in self.snowplow_crashes:
+            for crash in run:
+                if crash.is_new and crash.signature not in seen:
+                    seen[crash.signature] = crash
+        return list(seen.values())
+
+
+def run_crash_campaign(
+    kernel: Kernel,
+    trained: TrainedPMM,
+    config: CampaignConfig,
+    reproduce: bool = True,
+) -> CrashCampaignResult:
+    """Tables 2/3: exhaustive side-by-side fuzzing with crash triage."""
+    snowplow_crashes: list[list[TriagedCrash]] = []
+    syzkaller_crashes: list[list[TriagedCrash]] = []
+    for run in range(config.runs):
+        run_seed = derive_seed(config.seed, "crash-run", run, kernel.version)
+        seeds = ProgramGenerator(
+            kernel.table, split(run_seed, "seed-corpus")
+        ).seed_corpus(config.seed_corpus_size)
+        syz = _build_syzkaller_loop(kernel, run_seed, config)
+        syz.seed([program.clone() for program in seeds])
+        syz_stats = syz.run()
+        syzkaller_crashes.append(list(syz_stats.crashes))
+        snow = _build_snowplow_loop(kernel, trained, run_seed, config)
+        snow.seed([program.clone() for program in seeds])
+        snow_stats = snow.run()
+        if reproduce:
+            for crash in snow_stats.crashes:
+                snow.triage.reproduce(crash)
+        snowplow_crashes.append(list(snow_stats.crashes))
+    return CrashCampaignResult(
+        kernel_version=kernel.version,
+        snowplow_crashes=snowplow_crashes,
+        syzkaller_crashes=syzkaller_crashes,
+    )
+
+
+# ----- directed fuzzing (Table 5) -----
+
+
+def default_directed_targets(kernel: Kernel, count: int = 12) -> list[int]:
+    """Bug-related target code locations, mixing easy and hard.
+
+    Table 5's dataset consists of code locations tied to SyzBot bugs;
+    here the crash blocks of planted bugs provide the hard targets and
+    shallow blocks of the same handlers the easy ones.
+    """
+    rng = split(derive_seed(0, "targets", kernel.version), "pick")
+    hard = [
+        kernel.bug_blocks[bug.bug_id]
+        for bug in sorted(kernel.bugs, key=lambda bug: bug.bug_id)
+        if not bug.known
+    ]
+    easy: list[int] = []
+    for name in sorted(kernel.handlers):
+        cfg = kernel.handlers[name]
+        shallow = [
+            block_id for block_id in cfg.block_ids()
+            if kernel.blocks[block_id].role is BlockRole.BODY
+            and cfg.depth_of(block_id) <= 1
+        ]
+        if shallow:
+            easy.append(shallow[int(rng.integers(len(shallow)))])
+    rng.shuffle(easy)
+    half = count // 2
+    targets = hard[:half] + easy[: count - min(half, len(hard))]
+    return targets[:count]
+
+
+def run_directed_campaign(
+    kernel: Kernel,
+    trained: TrainedPMM,
+    targets: list[int],
+    config: CampaignConfig,
+) -> dict[int, dict[str, list[DirectedResult]]]:
+    """Table 5: per-target time-to-reach for SyzDirect vs Snowplow-D."""
+    if not targets:
+        raise CampaignError("directed campaign needs at least one target")
+    results: dict[int, dict[str, list[DirectedResult]]] = {}
+    for target in targets:
+        per_mode: dict[str, list[DirectedResult]] = {
+            "syzdirect": [], "snowplow_d": []
+        }
+        target_syscall = kernel.handler_of_block.get(target, "")
+        for run in range(config.runs):
+            run_seed = derive_seed(config.seed, "directed", target, run)
+            seeds = ProgramGenerator(
+                kernel.table, split(run_seed, "seed-corpus")
+            ).seed_corpus(max(10, config.seed_corpus_size // 4))
+            for mode in ("syzdirect", "snowplow_d"):
+                executor = Executor(kernel, seed=derive_seed(run_seed, mode))
+                generator = ProgramGenerator(
+                    kernel.table, split(run_seed, "gen", mode)
+                )
+                if mode == "syzdirect":
+                    localizer = SyzDirectLocalizer(target_syscall)
+                    overhead = 0.0
+                else:
+                    localizer = PMMLocalizer(
+                        trained.model, trained.encoder, kernel, executor
+                    )
+                    # Amortized inference overhead of the learned
+                    # localizer (why Snowplow-D is marginally slower on
+                    # trivial targets, Table 5).
+                    overhead = 0.2 * config.cost.test_execution
+                fuzzer = DirectedFuzzer(
+                    kernel=kernel,
+                    target_block=target,
+                    executor=executor,
+                    generator=generator,
+                    localizer=localizer,
+                    clock=VirtualClock(horizon=config.horizon),
+                    cost=config.cost,
+                    rng=split(run_seed, "loop", mode),
+                    mutation_overhead=overhead,
+                )
+                fuzzer.seed([program.clone() for program in seeds])
+                per_mode[mode].append(fuzzer.run())
+        results[target] = per_mode
+    return results

@@ -1,0 +1,329 @@
+"""The Snowplow fuzz loop: PMM as the argument localizer (§3.4).
+
+Control flow per iteration:
+
+1. completed inference results are polled from the service; each result
+   enqueues a burst of argument mutations on the predicted paths — more
+   predicted arguments, more mutations (the dynamic adjustment of §3.4);
+2. if a burst is pending, its next mutation runs;
+3. otherwise the chosen base test's mutation query is submitted (unless
+   the queue is full) and the loop falls back to the fuzzer's own
+   heuristics — mostly non-argument mutation types, with a small
+   probability of random argument localization as the §3.4 safety net.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fuzzer.corpus import CorpusEntry
+from repro.fuzzer.engine import MutationEngine, MutationOutcome, TypeSelector
+from repro.fuzzer.loop import FuzzLoop
+from repro.graphs.build import build_query_graph
+from repro.graphs.encode import GraphEncoder
+from repro.kernel.build import Kernel
+from repro.kernel.coverage import Coverage
+from repro.pmm.model import PMM
+from repro.pmm.serve import InferenceService
+from repro.syzlang.program import ArgPath, Program
+
+__all__ = ["PMMLocalizer", "SnowplowConfig", "SnowplowLoop"]
+
+
+@dataclass
+class SnowplowConfig:
+    """Knobs of the hybrid integration."""
+
+    # Max targets marked per mutation query (uncovered frontier sample).
+    max_targets: int = 8
+    # Sigmoid threshold for MUTATE at fuzz time.  Deliberately
+    # recall-biased (below the F1-calibrated decision threshold): a
+    # spurious predicted argument costs one wasted mutation, a missed
+    # one forfeits the whole burst.
+    prediction_threshold: float = 0.30
+    # Burst size per predicted argument (dynamic adjustment, §3.4).
+    # Hard branches compare against exact operands; with the
+    # instantiator's ~10 % per-draw chance of producing the right
+    # constant, a burst needs double-digit draws per argument.
+    mutations_per_predicted_arg: int = 8
+    max_burst: int = 24
+    # Probability of a random argument localization on the fallback path.
+    fallback_argument_prob: float = 0.10
+    # Ceiling on the share of loop iterations given to pending PMM
+    # bursts; the rest keep the fuzzer's other mutation types flowing
+    # (Snowplow replaces the *argument* localizer, not the whole
+    # mutation mix — §3.4).  The effective share adapts to recent burst
+    # yield: when predictions stop producing coverage (late-campaign
+    # residue the model cannot localize), Snowplow degrades gracefully
+    # toward the baseline mix instead of taxing the loop.
+    burst_share: float = 0.7
+    burst_share_floor: float = 0.15
+    # EMA smoothing for per-mutation burst success.
+    burst_yield_decay: float = 0.97
+    # Inference service sizing: ~39 concurrent slots reproduce the
+    # paper's 57 q/s at 0.69 s latency (machine_infer, 8 L4 GPUs).
+    servers: int = 40
+    max_queue: int = 128
+
+
+class PMMLocalizer:
+    """A :class:`~repro.fuzzer.localizer.Localizer` backed by PMM.
+
+    Used directly (synchronously) by Snowplow-D; the undirected Snowplow
+    loop goes through the asynchronous service instead.
+    """
+
+    def __init__(
+        self,
+        model: PMM,
+        encoder: GraphEncoder,
+        kernel: Kernel,
+        executor,
+        max_targets: int = 8,
+        threshold: float = 0.30,
+        cache_size: int = 512,
+    ):
+        self.model = model
+        self.encoder = encoder
+        self.kernel = kernel
+        self.executor = executor
+        self.max_targets = max_targets
+        self.threshold = threshold
+        self.cache_size = cache_size
+        self._cache: dict = {}
+
+    def localize(
+        self,
+        program: Program,
+        coverage: Coverage | None,
+        targets: set[int] | None,
+        rng: np.random.Generator,
+    ) -> list[ArgPath]:
+        if coverage is None or not coverage.call_traces:
+            coverage = self.executor.run(program).coverage
+        if targets is None:
+            frontier = sorted(self.kernel.frontier(coverage.blocks))
+            if not frontier:
+                return []
+            picks = rng.permutation(len(frontier))[: self.max_targets]
+            targets = {frontier[int(pick)] for pick in picks}
+        cache_key = self._cache_key(program, targets)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
+        graph = build_query_graph(program, coverage, self.kernel, targets)
+        if not graph.mutable_argument_nodes():
+            return []
+        encoded = self.encoder.encode(graph)
+        paths = self.model.predict_paths(encoded, threshold=self.threshold)
+        if len(self._cache) >= self.cache_size:
+            self._cache.clear()
+        self._cache[cache_key] = list(paths)
+        return paths
+
+    @staticmethod
+    def _cache_key(program: Program, targets: set[int]):
+        from repro.syzlang.parser import serialize_program
+
+        return (serialize_program(program), frozenset(targets))
+
+
+@dataclass
+class _Burst:
+    """Pending PMM-guided argument mutations for one base test."""
+
+    program: Program
+    paths: list[ArgPath]
+    remaining: int
+    targets: set[int]
+    hints: frozenset[int] = frozenset()
+
+
+class SnowplowLoop(FuzzLoop):
+    """FuzzLoop with asynchronous PMM argument localization."""
+
+    def __init__(
+        self,
+        *args,
+        localizer: PMMLocalizer,
+        snowplow_config: SnowplowConfig | None = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.pmm_localizer = localizer
+        self.snowplow_config = snowplow_config or SnowplowConfig()
+        cfg = self.snowplow_config
+        self.service = InferenceService(
+            predict_fn=self._predict,
+            latency=self.cost.inference_latency,
+            servers=cfg.servers,
+            max_queue=cfg.max_queue,
+        )
+        self._bursts: deque[_Burst] = deque()
+        # Recent burst productivity (EMA of "this burst mutation found
+        # new coverage"), driving the adaptive burst share.
+        self._burst_yield = 0.25
+        self._active_burst: _Burst | None = None
+        # The fallback selector rarely mutates arguments at random;
+        # insertion/removal keep their usual share (§3.4).
+        self._fallback_selector = TypeSelector(
+            argument_weight=cfg.fallback_argument_prob,
+            insertion_weight=0.30,
+            removal_weight=0.10,
+        )
+
+    # ----- inference plumbing -----
+
+    def _predict(self, query) -> list[ArgPath]:
+        program, coverage, targets, _ = query
+        return self.pmm_localizer.localize(
+            program, coverage, targets, self.rng
+        )
+
+    def _query_targets(self, coverage: Coverage) -> set[int] | None:
+        """Frontier blocks of this test still uncovered globally.
+
+        Blocks guarded by argument conditions are preferred: an
+        argument-mutation query aimed at a branch that only kernel state
+        can flip wastes the prediction.  (The same static CFG analysis
+        that produces the frontier exposes the guarding condition.)
+        """
+        from repro.kernel.conditions import ArgCondition
+
+        frontier = self.kernel.frontier(coverage.blocks)
+        fresh = sorted(frontier - self.accumulated.blocks)
+        if not fresh:
+            return None
+        steerable = [
+            block for block in fresh
+            if isinstance(self.kernel.guarding_condition(block), ArgCondition)
+        ]
+        pool = steerable or fresh
+        picks = self.rng.permutation(len(pool))
+        limit = self.snowplow_config.max_targets
+        return {pool[int(pick)] for pick in picks[:limit]}
+
+    # ----- the hook -----
+
+    def propose_mutation(self, entry: CorpusEntry) -> MutationOutcome | None:
+        self.clock.advance(self.cost.mutation, "mutation")
+        if self.cost.inference_charge:
+            # Blocking-inference ablation: the loop pays the latency.
+            self.clock.advance(self.cost.inference_charge, "inference")
+        for query, paths in self.service.poll(self.clock.now):
+            program, _, targets, hints = query
+            if paths:
+                cfg = self.snowplow_config
+                burst = min(
+                    cfg.max_burst,
+                    cfg.mutations_per_predicted_arg * len(paths),
+                )
+                self._bursts.append(
+                    _Burst(
+                        program=program, paths=list(paths),
+                        remaining=burst, targets=set(targets), hints=hints,
+                    )
+                )
+        burst = self._next_live_burst()
+        if burst is not None and (
+            self.rng.random() < self._effective_burst_share()
+        ):
+            burst.remaining -= 1
+            if burst.remaining <= 0:
+                self._bursts.popleft()
+            self._active_burst = burst
+            chosen = self._choose_burst_paths(burst.paths)
+            return self.engine.mutate_test(
+                burst.program, forced_paths=chosen, hints=burst.hints
+            )
+        self._active_burst = None
+        self._maybe_submit(entry.program, entry.coverage, entry.hints)
+        # Fallback: the fuzzer's own heuristics while inference runs.
+        # When PMM bursts are productive, random argument localization is
+        # mostly redundant and stays rare (§3.4); when they dry up, the
+        # fallback restores Syzkaller's full argument-mutation share so
+        # the hybrid never does worse than its host fuzzer.
+        original_selector = self.engine.selector
+        self.engine.selector = self._adaptive_fallback_selector()
+        try:
+            return self.engine.mutate_test(
+                entry.program, entry.coverage, hints=entry.hints
+            )
+        finally:
+            self.engine.selector = original_selector
+
+    def _adaptive_fallback_selector(self) -> TypeSelector:
+        cfg = self.snowplow_config
+        argument_weight = max(
+            cfg.fallback_argument_prob,
+            0.60 - 2.0 * self._burst_yield,
+        )
+        return TypeSelector(
+            argument_weight=min(argument_weight, 0.60),
+            insertion_weight=0.30,
+            removal_weight=0.10,
+        )
+
+    def _effective_burst_share(self) -> float:
+        """Adaptive scheduling: recent burst yield sets the share."""
+        cfg = self.snowplow_config
+        share = cfg.burst_share_floor + 3.0 * self._burst_yield
+        return min(cfg.burst_share, share)
+
+    def _run_candidate(self, entry, outcome) -> None:
+        pre_edges = len(self.accumulated.edges)
+        super()._run_candidate(entry, outcome)
+        if self._active_burst is not None:
+            produced = len(self.accumulated.edges) > pre_edges
+            decay = self.snowplow_config.burst_yield_decay
+            self._burst_yield = (
+                decay * self._burst_yield + (1.0 - decay) * float(produced)
+            )
+            self._active_burst = None
+
+    def _next_live_burst(self) -> _Burst | None:
+        """The front-most burst whose targets are still uncovered.
+
+        Inference latency means a prediction can arrive after other
+        mutations already reached its targets; spending the burst then
+        would duplicate coverage, so stale bursts are dropped.
+        """
+        while self._bursts:
+            burst = self._bursts[0]
+            if burst.targets - self.accumulated.blocks:
+                return burst
+            self._bursts.popleft()
+        return None
+
+    def _maybe_submit(
+        self,
+        program: Program,
+        coverage: Coverage,
+        hints: frozenset[int] = frozenset(),
+    ) -> None:
+        targets = self._query_targets(coverage)
+        if targets is not None:
+            self.service.submit(
+                (program.clone(), coverage, targets, hints), self.clock.now
+            )
+
+    def on_new_coverage(self, entry, outcome, coverage) -> None:
+        """Chain climbing (§3.4): a test that just crossed one branch is
+        queried immediately for its next frontier instead of waiting to
+        be re-chosen from the corpus."""
+        self._maybe_submit(outcome.program, coverage)
+
+    def _choose_burst_paths(self, paths: list[ArgPath]) -> list[ArgPath]:
+        """Each burst mutation rewrites a subset of the predicted
+        arguments, always including the most confident one (predictions
+        arrive sorted by probability)."""
+        if len(paths) == 1:
+            return list(paths)
+        chosen = [paths[0]]
+        for path in paths[1:3]:
+            if self.rng.random() < 0.4:
+                chosen.append(path)
+        return chosen

@@ -1,0 +1,189 @@
+"""Human-readable rendering of the paper's tables and figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fuzzer.crash import TriagedCrash
+from repro.fuzzer.directed import DirectedResult
+from repro.kernel.bugs import CrashKind
+from repro.pmm.metrics import SelectorMetrics
+from repro.snowplow.campaign import CoverageCampaignResult, CrashCampaignResult
+
+__all__ = [
+    "format_table1",
+    "format_fig6",
+    "format_table2",
+    "format_table3",
+    "format_table5",
+]
+
+_TABLE3_ORDER = (
+    CrashKind.NULL_DEREF,
+    CrashKind.PAGING_FAULT,
+    CrashKind.ASSERT,
+    CrashKind.GPF,
+    CrashKind.OOB,
+    CrashKind.WARNING,
+    CrashKind.OTHER,
+)
+
+_TABLE3_NAMES = {
+    CrashKind.NULL_DEREF: "Null pointer dereference",
+    CrashKind.PAGING_FAULT: "Paging fault",
+    CrashKind.ASSERT: "Explicit assertion violation",
+    CrashKind.GPF: "General protection fault",
+    CrashKind.OOB: "Out of bounds access",
+    CrashKind.WARNING: "Warning",
+    CrashKind.RCU_STALL: "Other",
+    CrashKind.OTHER: "Other",
+}
+
+
+def format_table1(
+    pmm: SelectorMetrics, baseline: SelectorMetrics, baseline_name: str
+) -> str:
+    """Table 1: promising-arguments selector performance."""
+    lines = [
+        "Table 1. Promising arguments selector performance.",
+        f"{'Selector':<10} {'F1':>6} {'Precision':>9} {'Recall':>6} {'Jaccard':>7}",
+        pmm.row("PMModel"),
+        baseline.row(baseline_name),
+    ]
+    return "\n".join(lines)
+
+
+def format_fig6(results: list[CoverageCampaignResult]) -> str:
+    """Fig. 6: per-kernel coverage summaries (a-c) and improvement (d)."""
+    lines = ["Figure 6. Edge coverage, Snowplow vs Syzkaller."]
+    for result in results:
+        hours = result.horizon / 3600.0
+        lines.append(
+            f"  Linux {result.kernel_version} ({hours:.0f}h x "
+            f"{len(result.syzkaller_runs)} runs): "
+            f"Syzkaller {result.syzkaller_final_mean:.0f} edges, "
+            f"Snowplow {result.snowplow_final_mean:.0f} edges "
+            f"(+{result.coverage_improvement:.1f}%), "
+            f"speedup {result.speedup:.1f}x"
+        )
+        grid = np.linspace(0.0, result.horizon, 9)[1:]
+        snow = result._mean_series(result.snowplow_runs)
+        syz = result._mean_series(result.syzkaller_runs)
+        full = np.linspace(0.0, result.horizon, 97)
+        snow_pts = np.interp(grid, full, snow)
+        syz_pts = np.interp(grid, full, syz)
+        lines.append(
+            "    t(h):      " + " ".join(f"{t / 3600:6.1f}" for t in grid)
+        )
+        lines.append(
+            "    Snowplow:  " + " ".join(f"{v:6.0f}" for v in snow_pts)
+        )
+        lines.append(
+            "    Syzkaller: " + " ".join(f"{v:6.0f}" for v in syz_pts)
+        )
+    return "\n".join(lines)
+
+
+def format_table2(result: CrashCampaignResult) -> str:
+    """Table 2: crashes found during the exhaustive campaign."""
+    rows = result.table2_rows()
+    runs = len(result.snowplow_crashes)
+    header = "".join(f"  run{r + 1}" for r in range(runs))
+    lines = [
+        "Table 2. Crashes found during the exhaustive fuzzing campaign.",
+        f"{'Status':<16}{'Snowplow':>12}{'Syzkaller':>18}",
+        f"{'':<16}{header}{header}",
+    ]
+    new_row = "".join(f"{v:6d}" for v in rows["snowplow_new"]) + "".join(
+        f"{v:6d}" for v in rows["syzkaller_new"]
+    )
+    known_row = "".join(f"{v:6d}" for v in rows["snowplow_known"]) + "".join(
+        f"{v:6d}" for v in rows["syzkaller_known"]
+    )
+    lines.append(f"{'New Crashes':<16}{new_row}")
+    lines.append(f"{'Known Crashes':<16}{known_row}")
+    total_snow = [
+        rows["snowplow_new"][r] + rows["snowplow_known"][r] for r in range(runs)
+    ]
+    total_syz = [
+        rows["syzkaller_new"][r] + rows["syzkaller_known"][r]
+        for r in range(runs)
+    ]
+    total_row = "".join(f"{v:6d}" for v in total_snow) + "".join(
+        f"{v:6d}" for v in total_syz
+    )
+    lines.append(f"{'Total':<16}{total_row}")
+    return "\n".join(lines)
+
+
+def format_table3(crashes: list[TriagedCrash]) -> str:
+    """Table 3: new crashes by manifestation and reproducer status."""
+    counts: dict[str, list[int]] = {}
+    for kind in _TABLE3_ORDER:
+        counts.setdefault(_TABLE3_NAMES[kind], [0, 0])
+    for crash in crashes:
+        name = _TABLE3_NAMES.get(crash.category, "Other")
+        bucket = counts.setdefault(name, [0, 0])
+        bucket[0 if crash.has_reproducer else 1] += 1
+    lines = [
+        "Table 3. New crash reports by manifestation.",
+        f"{'Category':<30} {'Repro: Yes':>10} {'No':>4}",
+    ]
+    total_yes = total_no = 0
+    for name, (yes, no) in counts.items():
+        lines.append(f"{name:<30} {yes:>10d} {no:>4d}")
+        total_yes += yes
+        total_no += no
+    lines.append(f"{'Total':<30} {total_yes:>10d} {total_no:>4d}")
+    return "\n".join(lines)
+
+
+def format_table5(
+    results: dict[int, dict[str, list[DirectedResult]]],
+    kernel_version: str,
+) -> str:
+    """Table 5: average time-to-target and success rates."""
+    lines = [
+        f"Table 5. Directed fuzzing on kernel {kernel_version}: "
+        "avg time-to-target in virtual seconds (successes/runs).",
+        f"{'Target block':<14}{'SyzDirect':>18}{'Snowplow-D':>18}{'Speedup':>9}",
+    ]
+    both_syz_total = 0.0
+    both_snow_total = 0.0
+    both = 0
+    for target, modes in sorted(results.items()):
+        cells = {}
+        for mode in ("syzdirect", "snowplow_d"):
+            runs = modes[mode]
+            times = [r.time_to_target for r in runs if r.reached]
+            hits = len(times)
+            if hits:
+                cells[mode] = (float(np.mean(times)), hits, len(runs))
+            else:
+                cells[mode] = (None, 0, len(runs))
+        syz_time, syz_hits, total_runs = cells["syzdirect"]
+        snow_time, snow_hits, _ = cells["snowplow_d"]
+        syz_cell = (
+            f"{syz_time:8.0f} ({syz_hits}/{total_runs})"
+            if syz_time is not None else f"      NA (0/{total_runs})"
+        )
+        snow_cell = (
+            f"{snow_time:8.0f} ({snow_hits}/{total_runs})"
+            if snow_time is not None else f"      NA (0/{total_runs})"
+        )
+        if syz_time is not None and snow_time is not None:
+            speedup = f"{syz_time / max(snow_time, 1e-9):8.1f}"
+            both_syz_total += syz_time
+            both_snow_total += snow_time
+            both += 1
+        elif snow_time is not None:
+            speedup = "     INF"
+        else:
+            speedup = "      NA"
+        lines.append(f"{target:<14}{syz_cell:>18}{snow_cell:>18}{speedup:>9}")
+    if both and both_snow_total > 0:
+        lines.append(
+            f"{'Subtotal':<14}{both_syz_total:>10.0f}{both_snow_total:>18.0f}"
+            f"{both_syz_total / both_snow_total:>17.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Syzlang: the test-program DSL.
+
+This package reimplements the slice of Syzkaller's ``prog`` module that
+Snowplow depends on: a type system for system-call arguments (including
+nested structs, pointers, buffers, and cross-call resources), syscall
+specifications, concrete test programs, a text format with a parser and
+serializer, a random program generator, and utilities to enumerate every
+mutable sub-argument of a program (the ">60 arguments per test" search
+space of the paper's §2/§5.1).
+"""
+
+from repro.syzlang.types import (
+    ArgKind,
+    ArrayType,
+    BufferKind,
+    BufferType,
+    ConstType,
+    FlagsType,
+    IntType,
+    LenType,
+    PtrType,
+    ResourceKind,
+    ResourceType,
+    StructType,
+    Type,
+)
+from repro.syzlang.spec import SyscallSpec, SyscallTable
+from repro.syzlang.program import (
+    ArgPath,
+    ArrayValue,
+    BufferValue,
+    Call,
+    ConstValue,
+    IntValue,
+    Program,
+    PtrValue,
+    ResourceValue,
+    StructValue,
+    Value,
+)
+from repro.syzlang.parser import parse_program, serialize_program
+from repro.syzlang.generator import ProgramGenerator
+from repro.syzlang.stdlib import build_standard_table
+
+__all__ = [
+    "ArgKind",
+    "ArgPath",
+    "ArrayType",
+    "ArrayValue",
+    "BufferKind",
+    "BufferType",
+    "BufferValue",
+    "Call",
+    "ConstType",
+    "ConstValue",
+    "FlagsType",
+    "IntType",
+    "IntValue",
+    "LenType",
+    "Program",
+    "ProgramGenerator",
+    "PtrType",
+    "PtrValue",
+    "ResourceKind",
+    "ResourceType",
+    "ResourceValue",
+    "StructType",
+    "StructValue",
+    "SyscallSpec",
+    "SyscallTable",
+    "Type",
+    "Value",
+    "build_standard_table",
+    "build_standard_table",
+    "parse_program",
+    "serialize_program",
+]

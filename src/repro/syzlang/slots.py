@@ -1,0 +1,42 @@
+"""Stable "slot" identifiers linking kernel code to argument positions.
+
+In a compiled kernel, the code handling a system call loads each argument
+(or copied-in struct field) from a fixed register or memory offset; a
+branch that depends on an argument therefore *textually* references that
+offset in its compare instruction.  PMM exploits exactly this correlation
+(§3.2/§3.3): the assembly of an uncovered branch hints at which argument
+steers it.
+
+This module derives a deterministic slot id for every ``(syscall
+variant, argument path)`` pair.  The synthetic kernel builder emits the
+slot token inside the assembly of condition blocks, and the query-graph
+encoder attaches the same token id to the corresponding argument vertex.
+The two sides use *independent* embedding tables in the model, so the
+correspondence must be learned from data — as in the real system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["slot_id", "slot_token", "SLOT_SPACE"]
+
+# Number of distinct slot identifiers.  Small enough that embeddings are
+# learnable from modest data, large enough that collisions are rare
+# (a few hundred live (syscall, path) pairs in the standard table).
+SLOT_SPACE = 1024
+
+
+def slot_id(syscall_full_name: str, path_elements: tuple[int, ...]) -> int:
+    """Deterministic slot id in ``[0, SLOT_SPACE)`` for an argument path."""
+    hasher = hashlib.blake2b(digest_size=4)
+    hasher.update(syscall_full_name.encode())
+    for element in path_elements:
+        hasher.update(b".")
+        hasher.update(str(element).encode())
+    return int.from_bytes(hasher.digest(), "little") % SLOT_SPACE
+
+
+def slot_token(syscall_full_name: str, path_elements: tuple[int, ...]) -> str:
+    """The assembly token for a slot, e.g. ``off_03f2``."""
+    return f"off_{slot_id(syscall_full_name, path_elements):04x}"

@@ -1,0 +1,127 @@
+"""Syscall specifications and the syscall table.
+
+A :class:`SyscallSpec` is one *variant* of a system call in Syzlang's
+sense: ``ioctl$SCSI_SEND_COMMAND`` and ``ioctl$FBIO`` are distinct specs
+with their own argument shapes, exactly as in Syzkaller where the Linux
+``mount`` call has 12 specialized variants [23].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+from repro.syzlang.types import (
+    ArrayType,
+    PtrType,
+    ResourceKind,
+    ResourceType,
+    StructType,
+    Type,
+)
+
+__all__ = ["SyscallSpec", "SyscallTable"]
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """One system-call variant.
+
+    ``name`` is the base syscall name (``ioctl``); ``variant`` the Syzlang
+    specialization suffix (``SCSI_SEND_COMMAND``), empty for plain calls.
+    ``produces`` names the resource kind returned on success, if any.
+    ``subsystem`` groups specs by the kernel subsystem handling them,
+    which the kernel builder uses to share helper code between calls.
+    """
+
+    name: str
+    args: tuple[tuple[str, Type], ...]
+    variant: str = ""
+    produces: ResourceKind | None = None
+    subsystem: str = "core"
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for arg_name, _ in self.args:
+            if arg_name in seen:
+                raise SpecError(
+                    f"syscall {self.full_name!r} has duplicate arg {arg_name!r}"
+                )
+            seen.add(arg_name)
+
+    @property
+    def full_name(self) -> str:
+        """The Syzlang display name, e.g. ``ioctl$SCSI_SEND_COMMAND``."""
+        if self.variant:
+            return f"{self.name}${self.variant}"
+        return self.name
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def consumes(self) -> list[ResourceKind]:
+        """Resource kinds appearing anywhere in this spec's inputs."""
+        found: list[ResourceKind] = []
+
+        def walk(ty: Type) -> None:
+            if isinstance(ty, ResourceType):
+                found.append(ty.resource)
+            elif isinstance(ty, PtrType):
+                walk(ty.elem)
+            elif isinstance(ty, StructType):
+                for _, field_ty in ty.fields:
+                    walk(field_ty)
+            elif isinstance(ty, ArrayType):
+                walk(ty.elem)
+
+        for _, arg_ty in self.args:
+            walk(arg_ty)
+        return found
+
+
+@dataclass
+class SyscallTable:
+    """All syscall variants known to the fuzzer and kernel."""
+
+    specs: list[SyscallSpec] = field(default_factory=list)
+    _by_name: dict[str, SyscallSpec] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for spec in self.specs:
+            if spec.full_name in self._by_name:
+                raise SpecError(f"duplicate syscall {spec.full_name!r}")
+            self._by_name[spec.full_name] = spec
+
+    def add(self, spec: SyscallSpec) -> None:
+        if spec.full_name in self._by_name:
+            raise SpecError(f"duplicate syscall {spec.full_name!r}")
+        self.specs.append(spec)
+        self._by_name[spec.full_name] = spec
+
+    def lookup(self, full_name: str) -> SyscallSpec:
+        spec = self._by_name.get(full_name)
+        if spec is None:
+            raise SpecError(f"unknown syscall {full_name!r}")
+        return spec
+
+    def __contains__(self, full_name: str) -> bool:
+        return full_name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def producers_of(self, kind: ResourceKind) -> list[SyscallSpec]:
+        """Specs whose return value can satisfy a ``kind`` consumer."""
+        return [
+            spec
+            for spec in self.specs
+            if spec.produces is not None and spec.produces.compatible_with(kind)
+        ]
+
+    def subsystems(self) -> list[str]:
+        """Sorted unique subsystem names."""
+        return sorted({spec.subsystem for spec in self.specs})

@@ -1,0 +1,408 @@
+"""The synthetic "Linux-like" system-call surface.
+
+This module plays the role of Syzkaller's ``sys/linux`` descriptions: a
+catalogue of system-call variants with realistic argument shapes —
+nested structs, iovec arrays, flag words, resource (fd) hierarchies, and
+ioctl variants pinned to command constants.  Programs over this table
+average well over 60 flattened mutation sites, matching the search-space
+measurement of the paper's §5.1.
+
+``build_standard_table(version)`` returns the table for a given synthetic
+kernel release: ``6.8`` is the base; ``6.9`` adds the xdp and landlock
+interfaces; ``6.10`` further adds rxrpc — mirroring how real releases grow
+their API surface, which is what makes the paper's cross-version
+generalization experiment (Fig. 6b/6c) meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.syzlang.spec import SyscallSpec, SyscallTable
+from repro.syzlang.types import (
+    ArrayType,
+    BufferKind,
+    BufferType,
+    ConstType,
+    Direction,
+    FlagsType,
+    IntType,
+    LenType,
+    PtrType,
+    ResourceKind,
+    ResourceType,
+    StructType,
+)
+
+__all__ = [
+    "build_standard_table",
+    "FD",
+    "FILE_FD",
+    "SOCK",
+    "SCSI_FD",
+    "KNOWN_VERSIONS",
+    "SCSI_IOCTL_SEND_COMMAND",
+    "ATA_16",
+    "ATA_NOP",
+    "ATA_PROT_PIO",
+]
+
+KNOWN_VERSIONS = ("6.8", "6.9", "6.10")
+
+# ----- resource hierarchy -----
+
+FD = ResourceKind("fd")
+FILE_FD = ResourceKind("file_fd", parent=FD)
+SOCK = ResourceKind("sock", parent=FD)
+SCSI_FD = ResourceKind("scsi_fd", parent=FD)
+FB_FD = ResourceKind("fb_fd", parent=FD)
+SND_FD = ResourceKind("snd_fd", parent=FD)
+URING_FD = ResourceKind("uring_fd", parent=FD)
+EPOLL_FD = ResourceKind("epoll_fd", parent=FD)
+TIMER_FD = ResourceKind("timer_fd", parent=FD)
+PIPE_FD = ResourceKind("pipe_fd", parent=FD)
+BPF_FD = ResourceKind("bpf_fd", parent=FD)
+XDP_SOCK = ResourceKind("xdp_sock", parent=FD)
+RULESET_FD = ResourceKind("ruleset_fd", parent=FD)
+RXRPC_SOCK = ResourceKind("rxrpc_sock", parent=FD)
+
+# ----- shared constants -----
+
+SCSI_IOCTL_SEND_COMMAND = 0x1
+ATA_16 = 0x85
+ATA_NOP = 0x00
+ATA_PROT_PIO = 0x04
+
+_OPEN_FLAGS = FlagsType(
+    flags=(
+        ("O_RDONLY", 0x0),
+        ("O_WRONLY", 0x1),
+        ("O_RDWR", 0x2),
+        ("O_CREAT", 0x40),
+        ("O_EXCL", 0x80),
+        ("O_TRUNC", 0x200),
+        ("O_APPEND", 0x400),
+        ("O_NONBLOCK", 0x800),
+        ("O_DIRECT", 0x4000),
+    )
+)
+
+_PROT_FLAGS = FlagsType(
+    flags=(("PROT_READ", 0x1), ("PROT_WRITE", 0x2), ("PROT_EXEC", 0x4))
+)
+
+_MAP_FLAGS = FlagsType(
+    flags=(
+        ("MAP_SHARED", 0x1),
+        ("MAP_PRIVATE", 0x2),
+        ("MAP_FIXED", 0x10),
+        ("MAP_ANONYMOUS", 0x20),
+        ("MAP_GROWSDOWN", 0x100),
+    )
+)
+
+_MADV_FLAGS = FlagsType(
+    flags=(
+        ("MADV_NORMAL", 0x0),
+        ("MADV_RANDOM", 0x1),
+        ("MADV_SEQUENTIAL", 0x2),
+        ("MADV_WILLNEED", 0x3),
+        ("MADV_DONTNEED", 0x4),
+        ("MADV_FREE", 0x8),
+    ),
+)
+
+_MSG_FLAGS = FlagsType(
+    flags=(
+        ("MSG_OOB", 0x1),
+        ("MSG_PEEK", 0x2),
+        ("MSG_DONTROUTE", 0x4),
+        ("MSG_DONTWAIT", 0x40),
+        ("MSG_WAITALL", 0x100),
+        ("MSG_MORE", 0x8000),
+    )
+)
+
+_SOCK_TYPE = FlagsType(
+    flags=(
+        ("SOCK_STREAM", 0x1),
+        ("SOCK_DGRAM", 0x2),
+        ("SOCK_RAW", 0x3),
+        ("SOCK_NONBLOCK", 0x800),
+        ("SOCK_CLOEXEC", 0x80000),
+    )
+)
+
+_MODE = IntType(bits=32, minimum=0, maximum=0o7777, interesting=(0o644, 0o777, 0))
+_SIZE32 = IntType(bits=32, minimum=0, maximum=1 << 20, interesting=(0, 1, 4096, 65536))
+_OFFSET = IntType(bits=64, minimum=0, maximum=1 << 32, interesting=(0, 4096, 1 << 20))
+_ADDR = IntType(
+    bits=64,
+    minimum=0,
+    maximum=1 << 47,
+    align=4096,
+    interesting=(0, 0x20000000, 0x7F0000000000),
+)
+
+_FILENAME = BufferType(
+    buffer_kind=BufferKind.FILENAME,
+    max_len=64,
+    values=(b"./file0", b"./file1", b"./dir0", b"./dir0/file0"),
+)
+
+_SOCKADDR = StructType(
+    name="sockaddr_in",
+    fields=(
+        ("family", IntType(bits=16, minimum=0, maximum=45, interesting=(2, 10, 16))),
+        ("port", IntType(bits=16, minimum=0, maximum=0xFFFF, interesting=(0, 80, 0x4E20))),
+        ("addr", IntType(bits=32, minimum=0, maximum=0xFFFFFFFF, interesting=(0, 0x7F000001))),
+        ("zero", ConstType(0, bits=64)),
+    ),
+)
+
+_IOVEC = StructType(
+    name="iovec",
+    fields=(
+        ("base", PtrType(BufferType(max_len=64))),
+        ("len", LenType(path="base", bits=64)),
+    ),
+)
+
+_MSGHDR = StructType(
+    name="msghdr",
+    fields=(
+        ("name", PtrType(_SOCKADDR, optional=True)),
+        ("namelen", IntType(bits=32, minimum=0, maximum=128, interesting=(0, 16, 28))),
+        ("iov", PtrType(ArrayType(_IOVEC, min_len=1, max_len=4))),
+        ("iovlen", LenType(path="iov", bits=64)),
+        ("control", PtrType(BufferType(max_len=64), optional=True)),
+        ("controllen", LenType(path="control", bits=64)),
+        ("flags", _MSG_FLAGS),
+    ),
+)
+
+# SCSI/ATA pass-through command block: the deep-constraint shape guarding
+# the ATA out-of-bounds write of Table 4 (bug #1).
+_SG_CDB = StructType(
+    name="sg_cdb",
+    fields=(
+        ("opcode", IntType(bits=8, minimum=0, maximum=0xFF, interesting=(ATA_16, 0x12, 0x28))),
+        ("protocol", IntType(bits=8, minimum=0, maximum=0x0F, interesting=(ATA_PROT_PIO, 0x06, 0x0C))),
+        ("flags", FlagsType(flags=(("CK_COND", 0x20), ("T_DIR", 0x08), ("BYT_BLOK", 0x04)))),
+        ("ata_cmd", IntType(bits=8, minimum=0, maximum=0xFF, interesting=(ATA_NOP, 0xEC, 0x25))),
+        ("features", IntType(bits=8, minimum=0, maximum=0xFF)),
+        ("count", IntType(bits=16, minimum=0, maximum=0xFFFF, interesting=(0, 1, 8))),
+        ("lba", IntType(bits=32, minimum=0, maximum=0xFFFFFFFF)),
+    ),
+)
+
+_SCSI_IOCTL_COMMAND = StructType(
+    name="scsi_ioctl_command",
+    fields=(
+        ("inlen", IntType(bits=32, minimum=0, maximum=1 << 16, interesting=(0, 512, 4096))),
+        ("outlen", IntType(bits=32, minimum=0, maximum=1 << 16, interesting=(0, 512, 4096, 0x10000))),
+        ("cdb", _SG_CDB),
+        ("data", PtrType(BufferType(max_len=512), direction=Direction.INOUT)),
+    ),
+)
+
+_FB_VAR_SCREENINFO = StructType(
+    name="fb_var_screeninfo",
+    fields=(
+        ("xres", IntType(bits=32, minimum=0, maximum=8192, interesting=(0, 640, 1024))),
+        ("yres", IntType(bits=32, minimum=0, maximum=8192, interesting=(0, 480, 768))),
+        ("bpp", IntType(bits=32, minimum=0, maximum=64, interesting=(8, 16, 24, 32))),
+        ("rotate", IntType(bits=32, minimum=0, maximum=3)),
+        ("activate", FlagsType(flags=(("FB_NOW", 0x0), ("FB_VBL", 0x10), ("FB_ALL", 0x40)))),
+    ),
+)
+
+_SND_PARAMS = StructType(
+    name="snd_pcm_params",
+    fields=(
+        ("format", IntType(bits=32, minimum=0, maximum=64, interesting=(1, 2, 10))),
+        ("channels", IntType(bits=32, minimum=0, maximum=32, interesting=(1, 2))),
+        ("rate", IntType(bits=32, minimum=0, maximum=384000, interesting=(8000, 44100, 48000))),
+        ("period", IntType(bits=32, minimum=0, maximum=1 << 16)),
+    ),
+)
+
+_TIMESPEC = StructType(
+    name="timespec",
+    fields=(
+        ("sec", IntType(bits=64, minimum=0, maximum=1 << 32, interesting=(0, 1))),
+        ("nsec", IntType(bits=64, minimum=0, maximum=10**9 + 10, interesting=(0, 10**9 - 1, 10**9))),
+    ),
+)
+
+_ITIMERSPEC = StructType(
+    name="itimerspec",
+    fields=(("interval", _TIMESPEC), ("value", _TIMESPEC)),
+)
+
+_EPOLL_EVENT = StructType(
+    name="epoll_event",
+    fields=(
+        ("events", FlagsType(flags=(("EPOLLIN", 0x1), ("EPOLLOUT", 0x4), ("EPOLLERR", 0x8), ("EPOLLET", 0x80000000)))),
+        ("data", IntType(bits=64)),
+    ),
+)
+
+_IO_URING_PARAMS = StructType(
+    name="io_uring_params",
+    fields=(
+        ("sq_entries", IntType(bits=32, minimum=0, maximum=4096, interesting=(0, 1, 128, 4096))),
+        ("cq_entries", IntType(bits=32, minimum=0, maximum=8192, interesting=(0, 256))),
+        ("flags", FlagsType(flags=(("IORING_SETUP_IOPOLL", 0x1), ("IORING_SETUP_SQPOLL", 0x2), ("IORING_SETUP_CQSIZE", 0x8)))),
+        ("sq_thread_cpu", IntType(bits=32, minimum=0, maximum=256)),
+        ("sq_thread_idle", IntType(bits=32, minimum=0, maximum=10000)),
+    ),
+)
+
+_BPF_INSN = StructType(
+    name="bpf_insn",
+    fields=(
+        ("code", IntType(bits=8, minimum=0, maximum=0xFF, interesting=(0x07, 0x95, 0x18))),
+        ("regs", IntType(bits=8, minimum=0, maximum=0xBB)),
+        ("off", IntType(bits=16, minimum=0, maximum=0xFFFF)),
+        ("imm", IntType(bits=32, minimum=0, maximum=0xFFFFFFFF, interesting=(0, 1))),
+    ),
+)
+
+_BPF_ATTR = StructType(
+    name="bpf_attr_prog_load",
+    fields=(
+        ("prog_type", IntType(bits=32, minimum=0, maximum=32, interesting=(1, 2, 5))),
+        ("insns", PtrType(ArrayType(_BPF_INSN, min_len=1, max_len=4))),
+        ("insn_cnt", LenType(path="insns", bits=32)),
+        ("license", PtrType(BufferType(buffer_kind=BufferKind.STRING, max_len=16, values=(b"GPL", b"MIT")))),
+        ("log_level", IntType(bits=32, minimum=0, maximum=4)),
+    ),
+)
+
+_XDP_UMEM_REG = StructType(
+    name="xdp_umem_reg",
+    fields=(
+        ("addr", _ADDR),
+        ("len", IntType(bits=64, minimum=0, maximum=1 << 30, interesting=(0, 4096, 1 << 20))),
+        ("chunk_size", IntType(bits=32, minimum=0, maximum=1 << 16, interesting=(0, 2048, 4096))),
+        ("headroom", IntType(bits=32, minimum=0, maximum=1 << 12, interesting=(0, 256))),
+    ),
+)
+
+_LANDLOCK_RULESET_ATTR = StructType(
+    name="landlock_ruleset_attr",
+    fields=(
+        ("handled_access_fs", FlagsType(flags=(("LL_EXECUTE", 0x1), ("LL_WRITE", 0x2), ("LL_READ", 0x4), ("LL_DIR", 0x8)))),
+        ("handled_access_net", FlagsType(flags=(("LL_BIND", 0x1), ("LL_CONNECT", 0x2)))),
+    ),
+)
+
+_RXRPC_CALL = StructType(
+    name="rxrpc_call_params",
+    fields=(
+        ("service", IntType(bits=16, minimum=0, maximum=0xFFFF, interesting=(0, 52))),
+        ("security", IntType(bits=8, minimum=0, maximum=4)),
+        ("user_call_id", IntType(bits=64)),
+        ("tx_total_len", IntType(bits=64, minimum=0, maximum=1 << 24, interesting=(0, 1, 0xFFFF))),
+    ),
+)
+
+
+def _base_specs() -> list[SyscallSpec]:
+    """All specs present from version 6.8 on."""
+    out_buf = PtrType(BufferType(max_len=4096), direction=Direction.OUT)
+    in_buf = PtrType(BufferType(max_len=4096))
+    specs = [
+        # ----- fs -----
+        SyscallSpec("open", (("file", PtrType(_FILENAME)), ("flags", _OPEN_FLAGS), ("mode", _MODE)), produces=FILE_FD, subsystem="fs"),
+        SyscallSpec("openat", (("dirfd", ConstType(0xFFFFFF9C)), ("file", PtrType(_FILENAME)), ("flags", _OPEN_FLAGS), ("mode", _MODE)), produces=FILE_FD, subsystem="fs"),
+        SyscallSpec("read", (("fd", ResourceType(FD)), ("buf", out_buf), ("count", _SIZE32)), subsystem="fs"),
+        SyscallSpec("write", (("fd", ResourceType(FD)), ("buf", in_buf), ("count", LenType(path="buf", bits=64))), subsystem="fs"),
+        SyscallSpec("pread64", (("fd", ResourceType(FD)), ("buf", out_buf), ("count", _SIZE32), ("pos", _OFFSET)), subsystem="ext4"),
+        SyscallSpec("pwrite64", (("fd", ResourceType(FD)), ("buf", in_buf), ("count", LenType(path="buf", bits=64)), ("pos", _OFFSET)), subsystem="ext4"),
+        SyscallSpec("close", (("fd", ResourceType(FD)),), subsystem="fs"),
+        SyscallSpec("lseek", (("fd", ResourceType(FD)), ("offset", _OFFSET), ("whence", IntType(bits=32, minimum=0, maximum=4, interesting=(0, 1, 2)))), subsystem="fs"),
+        SyscallSpec("ftruncate", (("fd", ResourceType(FILE_FD)), ("len", _OFFSET)), subsystem="fs"),
+        SyscallSpec("fallocate", (("fd", ResourceType(FILE_FD)), ("mode", FlagsType(flags=(("FALLOC_KEEP_SIZE", 0x1), ("FALLOC_PUNCH_HOLE", 0x2), ("FALLOC_ZERO_RANGE", 0x10)))), ("offset", _OFFSET), ("len", _OFFSET)), subsystem="ext4"),
+        SyscallSpec("fsync", (("fd", ResourceType(FD)),), subsystem="ext4"),
+        SyscallSpec("mkdir", (("path", PtrType(_FILENAME)), ("mode", _MODE)), subsystem="fs"),
+        SyscallSpec("unlink", (("path", PtrType(_FILENAME)),), subsystem="fs"),
+        SyscallSpec("rename", (("old", PtrType(_FILENAME)), ("new", PtrType(_FILENAME))), subsystem="fs"),
+        SyscallSpec("getdents64", (("fd", ResourceType(FILE_FD)), ("dirp", out_buf), ("count", _SIZE32)), subsystem="fs"),
+        SyscallSpec("fcntl", (("fd", ResourceType(FD)), ("cmd", ConstType(4)), ("flags", _OPEN_FLAGS)), variant="setfl", subsystem="fs"),
+        SyscallSpec("mount", (("src", PtrType(_FILENAME)), ("dst", PtrType(_FILENAME)), ("fstype", PtrType(BufferType(buffer_kind=BufferKind.STRING, max_len=16, values=(b"tmpfs", b"ext4", b"proc")))), ("flags", FlagsType(flags=(("MS_RDONLY", 0x1), ("MS_NOSUID", 0x2), ("MS_NODEV", 0x4), ("MS_BIND", 0x1000)))), ("data", PtrType(BufferType(max_len=64), optional=True))), variant="tmpfs", subsystem="fs"),
+        # ----- mm -----
+        SyscallSpec("mmap", (("addr", _ADDR), ("len", IntType(bits=64, minimum=0, maximum=1 << 30, align=1, interesting=(0, 4096, 1 << 21))), ("prot", _PROT_FLAGS), ("flags", _MAP_FLAGS), ("fd", ResourceType(FD)), ("offset", _OFFSET)), subsystem="mm"),
+        SyscallSpec("munmap", (("addr", _ADDR), ("len", IntType(bits=64, minimum=0, maximum=1 << 30, interesting=(4096,)))), subsystem="mm"),
+        SyscallSpec("madvise", (("addr", _ADDR), ("len", IntType(bits=64, minimum=0, maximum=1 << 30, interesting=(0, 4096))), ("advice", _MADV_FLAGS)), subsystem="mm"),
+        SyscallSpec("mprotect", (("addr", _ADDR), ("len", IntType(bits=64, minimum=0, maximum=1 << 30, interesting=(4096,))), ("prot", _PROT_FLAGS)), subsystem="mm"),
+        # ----- net -----
+        SyscallSpec("socket", (("domain", IntType(bits=32, minimum=0, maximum=45, interesting=(2, 10, 16, 17))), ("type", _SOCK_TYPE), ("protocol", IntType(bits=32, minimum=0, maximum=255, interesting=(0, 6, 17)))), produces=SOCK, subsystem="net"),
+        SyscallSpec("bind", (("sock", ResourceType(SOCK)), ("addr", PtrType(_SOCKADDR)), ("addrlen", IntType(bits=32, minimum=0, maximum=128, interesting=(16, 28)))), subsystem="net"),
+        SyscallSpec("connect", (("sock", ResourceType(SOCK)), ("addr", PtrType(_SOCKADDR)), ("addrlen", IntType(bits=32, minimum=0, maximum=128, interesting=(16, 28)))), subsystem="net"),
+        SyscallSpec("listen", (("sock", ResourceType(SOCK)), ("backlog", IntType(bits=32, minimum=0, maximum=4096, interesting=(0, 1, 128)))), subsystem="net"),
+        SyscallSpec("sendmsg", (("sock", ResourceType(SOCK)), ("msg", PtrType(_MSGHDR)), ("flags", _MSG_FLAGS)), variant="inet", subsystem="net"),
+        SyscallSpec("recvmsg", (("sock", ResourceType(SOCK)), ("msg", PtrType(_MSGHDR, direction=Direction.INOUT)), ("flags", _MSG_FLAGS)), variant="inet", subsystem="net"),
+        SyscallSpec("sendto", (("sock", ResourceType(SOCK)), ("buf", in_buf), ("len", LenType(path="buf", bits=64)), ("flags", _MSG_FLAGS), ("addr", PtrType(_SOCKADDR, optional=True)), ("addrlen", IntType(bits=32, minimum=0, maximum=128, interesting=(0, 16)))), subsystem="net"),
+        SyscallSpec("setsockopt", (("sock", ResourceType(SOCK)), ("level", IntType(bits=32, minimum=0, maximum=300, interesting=(1, 6, 17, 41))), ("optname", IntType(bits=32, minimum=0, maximum=128, interesting=(1, 2, 13, 20))), ("optval", in_buf), ("optlen", LenType(path="optval", bits=32))), variant="sock", subsystem="net"),
+        SyscallSpec("getsockopt", (("sock", ResourceType(SOCK)), ("level", IntType(bits=32, minimum=0, maximum=300, interesting=(1, 6))), ("optname", IntType(bits=32, minimum=0, maximum=128, interesting=(1, 2))), ("optval", out_buf), ("optlen", PtrType(IntType(bits=32, minimum=0, maximum=4096), direction=Direction.INOUT))), variant="sock", subsystem="net"),
+        # ----- drivers: scsi/ata (bug #1 home) -----
+        SyscallSpec("open", (("dev", PtrType(BufferType(buffer_kind=BufferKind.FILENAME, max_len=16, values=(b"/dev/sg0",)))), ("flags", _OPEN_FLAGS)), variant="scsi", produces=SCSI_FD, subsystem="scsi"),
+        SyscallSpec("ioctl", (("fd", ResourceType(SCSI_FD)), ("cmd", ConstType(SCSI_IOCTL_SEND_COMMAND)), ("arg", PtrType(_SCSI_IOCTL_COMMAND))), variant="SCSI_IOCTL_SEND_COMMAND", subsystem="scsi"),
+        # ----- drivers: video -----
+        SyscallSpec("open", (("dev", PtrType(BufferType(buffer_kind=BufferKind.FILENAME, max_len=16, values=(b"/dev/fb0",)))), ("flags", _OPEN_FLAGS)), variant="fb", produces=FB_FD, subsystem="video"),
+        SyscallSpec("ioctl", (("fd", ResourceType(FB_FD)), ("cmd", ConstType(0x4601)), ("arg", PtrType(_FB_VAR_SCREENINFO))), variant="FBIOPUT_VSCREENINFO", subsystem="video"),
+        # ----- drivers: sound -----
+        SyscallSpec("open", (("dev", PtrType(BufferType(buffer_kind=BufferKind.FILENAME, max_len=16, values=(b"/dev/dsp",)))), ("flags", _OPEN_FLAGS)), variant="snd", produces=SND_FD, subsystem="sound"),
+        SyscallSpec("ioctl", (("fd", ResourceType(SND_FD)), ("cmd", ConstType(0x5012)), ("arg", PtrType(_SND_PARAMS))), variant="SNDCTL_DSP_SETFMT", subsystem="sound"),
+        # ----- io_uring -----
+        SyscallSpec("io_uring_setup", (("entries", IntType(bits=32, minimum=0, maximum=8192, interesting=(0, 1, 128, 4096))), ("params", PtrType(_IO_URING_PARAMS, direction=Direction.INOUT))), produces=URING_FD, subsystem="io_uring"),
+        SyscallSpec("io_uring_enter", (("fd", ResourceType(URING_FD)), ("to_submit", IntType(bits=32, minimum=0, maximum=4096, interesting=(0, 1))), ("min_complete", IntType(bits=32, minimum=0, maximum=4096, interesting=(0, 1))), ("flags", FlagsType(flags=(("IORING_ENTER_GETEVENTS", 0x1), ("IORING_ENTER_SQ_WAKEUP", 0x2)))), ("sig", PtrType(BufferType(max_len=8), optional=True))), subsystem="io_uring"),
+        # ----- epoll -----
+        SyscallSpec("epoll_create1", (("flags", FlagsType(flags=(("EPOLL_CLOEXEC", 0x80000),))),), produces=EPOLL_FD, subsystem="epoll"),
+        SyscallSpec("epoll_ctl", (("epfd", ResourceType(EPOLL_FD)), ("op", IntType(bits=32, minimum=0, maximum=4, interesting=(1, 2, 3))), ("fd", ResourceType(FD)), ("event", PtrType(_EPOLL_EVENT, optional=True))), subsystem="epoll"),
+        # ----- timers -----
+        SyscallSpec("timerfd_create", (("clockid", IntType(bits=32, minimum=0, maximum=12, interesting=(0, 1, 7))), ("flags", FlagsType(flags=(("TFD_NONBLOCK", 0x800), ("TFD_CLOEXEC", 0x80000))))), produces=TIMER_FD, subsystem="timer"),
+        SyscallSpec("timerfd_settime", (("fd", ResourceType(TIMER_FD)), ("flags", IntType(bits=32, minimum=0, maximum=3, interesting=(0, 1))), ("new", PtrType(_ITIMERSPEC)), ("old", PtrType(_ITIMERSPEC, direction=Direction.OUT, optional=True))), subsystem="timer"),
+        # ----- pipes & watch queues -----
+        SyscallSpec("pipe2", (("flags", FlagsType(flags=(("O_NONBLOCK", 0x800), ("O_CLOEXEC", 0x80000), ("O_NOTIFICATION_PIPE", 0x4000000)))),), produces=PIPE_FD, subsystem="pipe"),
+        SyscallSpec("ioctl", (("fd", ResourceType(PIPE_FD)), ("cmd", ConstType(0x5760)), ("size", IntType(bits=32, minimum=0, maximum=4096, interesting=(0, 1, 128, 256, 4096)))), variant="IOC_WATCH_QUEUE_SET_SIZE", subsystem="watch_queue"),
+        SyscallSpec("splice", (("fd_in", ResourceType(FD)), ("off_in", PtrType(IntType(bits=64, minimum=0, maximum=1 << 32), optional=True)), ("fd_out", ResourceType(FD)), ("off_out", PtrType(IntType(bits=64, minimum=0, maximum=1 << 32), optional=True)), ("len", _SIZE32), ("flags", FlagsType(flags=(("SPLICE_F_MOVE", 0x1), ("SPLICE_F_NONBLOCK", 0x2), ("SPLICE_F_MORE", 0x4))))), subsystem="pipe"),
+        # ----- bpf -----
+        SyscallSpec("bpf", (("cmd", ConstType(5)), ("attr", PtrType(_BPF_ATTR)), ("size", IntType(bits=32, minimum=0, maximum=128, interesting=(48, 120)))), variant="PROG_LOAD", produces=BPF_FD, subsystem="bpf"),
+        # ----- misc -----
+        SyscallSpec("dup", (("fd", ResourceType(FD)),), produces=FD, subsystem="fs"),
+    ]
+    return specs
+
+
+def _v69_specs() -> list[SyscallSpec]:
+    """Interfaces added in synthetic release 6.9: xdp and landlock."""
+    return [
+        SyscallSpec("socket", (("domain", ConstType(44)), ("type", _SOCK_TYPE), ("protocol", ConstType(0))), variant="xdp", produces=XDP_SOCK, subsystem="xdp"),
+        SyscallSpec("setsockopt", (("sock", ResourceType(XDP_SOCK)), ("level", ConstType(283)), ("optname", ConstType(4)), ("umem", PtrType(_XDP_UMEM_REG)), ("optlen", IntType(bits=32, minimum=0, maximum=64, interesting=(24, 32)))), variant="XDP_UMEM_REG", subsystem="xdp"),
+        SyscallSpec("landlock_create_ruleset", (("attr", PtrType(_LANDLOCK_RULESET_ATTR)), ("size", IntType(bits=32, minimum=0, maximum=32, interesting=(8, 16))), ("flags", IntType(bits=32, minimum=0, maximum=4, interesting=(0, 1)))), produces=RULESET_FD, subsystem="landlock"),
+        SyscallSpec("landlock_restrict_self", (("ruleset", ResourceType(RULESET_FD)), ("flags", IntType(bits=32, minimum=0, maximum=4))), subsystem="landlock"),
+    ]
+
+
+def _v610_specs() -> list[SyscallSpec]:
+    """Interfaces added in synthetic release 6.10: rxrpc."""
+    return [
+        SyscallSpec("socket", (("domain", ConstType(33)), ("type", ConstType(2)), ("protocol", IntType(bits=32, minimum=0, maximum=8, interesting=(0,)))), variant="rxrpc", produces=RXRPC_SOCK, subsystem="rxrpc"),
+        SyscallSpec("sendmsg", (("sock", ResourceType(RXRPC_SOCK)), ("call", PtrType(_RXRPC_CALL)), ("data", PtrType(BufferType(max_len=128))), ("len", LenType(path="data", bits=64)), ("flags", _MSG_FLAGS)), variant="rxrpc", subsystem="rxrpc"),
+    ]
+
+
+def build_standard_table(version: str = "6.8") -> SyscallTable:
+    """The syscall table for a synthetic kernel release."""
+    if version not in KNOWN_VERSIONS:
+        raise SpecError(
+            f"unknown kernel version {version!r}; known: {KNOWN_VERSIONS}"
+        )
+    specs = _base_specs()
+    if version in ("6.9", "6.10"):
+        specs.extend(_v69_specs())
+    if version == "6.10":
+        specs.extend(_v610_specs())
+    return SyscallTable(specs)

@@ -1,0 +1,348 @@
+"""The Syzlang argument type system.
+
+Types describe the *shape* of system-call arguments; concrete argument
+values live in :mod:`repro.syzlang.program`.  The type system mirrors the
+subset of Syzkaller's Syzlang [24] that the paper's mutation study needs:
+
+- scalar integers with ranges, bit widths, and alignment,
+- flag sets (bitwise-or combinations of named constants),
+- compile-time constants (not mutable),
+- length fields whose value is derived from a sibling buffer,
+- buffers (raw data, strings, file names),
+- pointers into the test's data area, with in/out direction,
+- fixed structs and variable-length arrays (arbitrarily nested),
+- resources: kernel objects (fds, sockets, ...) produced by one call and
+  consumed by later calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+
+__all__ = [
+    "ArgKind",
+    "ArrayType",
+    "BufferKind",
+    "BufferType",
+    "ConstType",
+    "Direction",
+    "FlagsType",
+    "IntType",
+    "LenType",
+    "PtrType",
+    "ResourceKind",
+    "ResourceType",
+    "StructType",
+    "Type",
+    "NULL_RESOURCE",
+]
+
+# Sentinel value a consumer uses when no live resource is available;
+# mirrors Syzkaller's 0xffffffffffffffff "invalid fd" convention.
+NULL_RESOURCE = 0xFFFFFFFFFFFFFFFF
+
+
+class ArgKind(enum.Enum):
+    """Coarse argument kinds; used as model features (§3.3 embeds the
+    argument *type*, never literal values)."""
+
+    INT = "int"
+    FLAGS = "flags"
+    CONST = "const"
+    LEN = "len"
+    BUFFER = "buffer"
+    STRING = "string"
+    FILENAME = "filename"
+    PTR = "ptr"
+    STRUCT = "struct"
+    ARRAY = "array"
+    RESOURCE = "resource"
+
+
+class Direction(enum.Enum):
+    """Pointer direction: data flowing into or out of the kernel."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+class BufferKind(enum.Enum):
+    """What a buffer holds; determines mutation strategy and printing."""
+
+    DATA = "data"
+    STRING = "string"
+    FILENAME = "filename"
+
+
+@dataclass(frozen=True)
+class ResourceKind:
+    """A named kernel-resource class, e.g. ``fd`` or ``sock``.
+
+    ``parent`` supports subtyping: a ``sock`` is usable where an ``fd``
+    is required (as in Syzkaller's resource hierarchy).
+    """
+
+    name: str
+    parent: "ResourceKind | None" = None
+
+    def compatible_with(self, other: "ResourceKind") -> bool:
+        """True if a resource of this kind can be consumed as ``other``."""
+        kind: ResourceKind | None = self
+        while kind is not None:
+            if kind.name == other.name:
+                return True
+            kind = kind.parent
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Type:
+    """Base class for all Syzlang types."""
+
+    kind: ArgKind
+
+    def is_mutable(self) -> bool:
+        """Whether the mutator may rewrite values of this type in place.
+
+        Compound types (ptr/struct/array) are containers: their children
+        may be mutable but the container itself is not a mutation site.
+        """
+        return False
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` if the type definition is inconsistent."""
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """An integer argument with an inclusive range."""
+
+    bits: int = 64
+    minimum: int = 0
+    maximum: int | None = None
+    align: int = 1
+    # Values the kernel code actually compares against; the instantiator
+    # favours these ("replace an integer with a constant" strategy of §2).
+    interesting: tuple[int, ...] = ()
+
+    kind = ArgKind.INT
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.bits not in (8, 16, 32, 64):
+            raise SpecError(f"unsupported integer width: {self.bits}")
+        if self.align < 1:
+            raise SpecError(f"alignment must be positive, got {self.align}")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise SpecError(
+                f"empty integer range [{self.minimum}, {self.maximum}]"
+            )
+
+    @property
+    def upper_bound(self) -> int:
+        """The effective inclusive maximum for value generation."""
+        if self.maximum is not None:
+            return self.maximum
+        return (1 << self.bits) - 1
+
+    def is_mutable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class FlagsType(Type):
+    """A bitwise-or combination of named flag constants."""
+
+    flags: tuple[tuple[str, int], ...]
+    bits: int = 32
+
+    kind = ArgKind.FLAGS
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.flags:
+            raise SpecError("flags type needs at least one flag")
+        seen: set[str] = set()
+        for name, value in self.flags:
+            if name in seen:
+                raise SpecError(f"duplicate flag name {name!r}")
+            seen.add(name)
+            if value < 0:
+                raise SpecError(f"flag {name!r} has negative value")
+
+    def names_for(self, value: int) -> list[str]:
+        """Flag names whose bits are all present in ``value``."""
+        return [name for name, bit in self.flags if bit and value & bit == bit]
+
+    def value_of(self, name: str) -> int:
+        for flag_name, value in self.flags:
+            if flag_name == name:
+                return value
+        raise SpecError(f"unknown flag name {name!r}")
+
+    def all_bits(self) -> int:
+        mask = 0
+        for _, value in self.flags:
+            mask |= value
+        return mask
+
+    def is_mutable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ConstType(Type):
+    """A fixed constant (e.g. a command number pinned by the variant)."""
+
+    value: int
+    bits: int = 64
+
+    kind = ArgKind.CONST
+
+    def is_mutable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class LenType(Type):
+    """The length of a sibling argument, in bytes or elements.
+
+    ``path`` names the sibling field whose length this argument carries;
+    lookup is resolved against the enclosing struct or call at runtime.
+    """
+
+    path: str
+    bits: int = 64
+
+    kind = ArgKind.LEN
+
+    def is_mutable(self) -> bool:
+        # Length fields are occasionally mutated deliberately (that is how
+        # the ATA out-of-bounds write of Table 4 is triggered), so they are
+        # mutation sites, just down-weighted by the instantiator.
+        return True
+
+
+@dataclass(frozen=True)
+class BufferType(Type):
+    """A byte buffer, string, or file name."""
+
+    buffer_kind: BufferKind = BufferKind.DATA
+    min_len: int = 0
+    max_len: int = 4096
+    # Known-good values (e.g. well-formed filenames) for generation.
+    values: tuple[bytes, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.min_len < 0 or self.max_len < self.min_len:
+            raise SpecError(
+                f"bad buffer length range [{self.min_len}, {self.max_len}]"
+            )
+
+    @property
+    def kind(self) -> ArgKind:  # type: ignore[override]
+        if self.buffer_kind is BufferKind.STRING:
+            return ArgKind.STRING
+        if self.buffer_kind is BufferKind.FILENAME:
+            return ArgKind.FILENAME
+        return ArgKind.BUFFER
+
+    def is_mutable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class PtrType(Type):
+    """A pointer to a value of ``elem`` type in the test data area."""
+
+    elem: Type
+    direction: Direction = Direction.IN
+    optional: bool = False  # may be NULL
+
+    kind = ArgKind.PTR
+
+    def is_mutable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A fixed sequence of named fields."""
+
+    name: str
+    fields: tuple[tuple[str, Type], ...]
+
+    kind = ArgKind.STRUCT
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.fields:
+            raise SpecError(f"struct {self.name!r} has no fields")
+        seen: set[str] = set()
+        for field_name, _ in self.fields:
+            if field_name in seen:
+                raise SpecError(
+                    f"struct {self.name!r} has duplicate field {field_name!r}"
+                )
+            seen.add(field_name)
+
+    def field_type(self, name: str) -> Type:
+        for field_name, field_ty in self.fields:
+            if field_name == name:
+                return field_ty
+        raise SpecError(f"struct {self.name!r} has no field {name!r}")
+
+    def field_index(self, name: str) -> int:
+        for index, (field_name, _) in enumerate(self.fields):
+            if field_name == name:
+                return index
+        raise SpecError(f"struct {self.name!r} has no field {name!r}")
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A variable-length homogeneous array."""
+
+    elem: Type
+    min_len: int = 0
+    max_len: int = 8
+
+    kind = ArgKind.ARRAY
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.min_len < 0 or self.max_len < self.min_len:
+            raise SpecError(
+                f"bad array length range [{self.min_len}, {self.max_len}]"
+            )
+
+
+@dataclass(frozen=True)
+class ResourceType(Type):
+    """A kernel resource consumed (or produced via an out-pointer)."""
+
+    resource: ResourceKind
+
+    kind = ArgKind.RESOURCE
+
+    def is_mutable(self) -> bool:
+        # Mutating a resource argument means re-pointing it at another
+        # compatible resource in the program (or NULL).
+        return True

@@ -1,0 +1,41 @@
+"""Shared fixtures: small kernels, generators, executors.
+
+Session-scoped where construction is expensive; tests must not mutate
+shared objects (executors get fresh state per run by design).
+"""
+
+import pytest
+
+from repro.kernel import Executor, build_kernel
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator, build_standard_table
+
+
+@pytest.fixture(scope="session")
+def table():
+    return build_standard_table("6.8")
+
+
+@pytest.fixture(scope="session")
+def table_610():
+    return build_standard_table("6.10")
+
+
+@pytest.fixture(scope="session")
+def kernel():
+    return build_kernel("6.8", seed=1, size="small")
+
+
+@pytest.fixture(scope="session")
+def kernel_69():
+    return build_kernel("6.9", seed=1, size="small")
+
+
+@pytest.fixture()
+def generator(kernel):
+    return ProgramGenerator(kernel.table, make_rng(100))
+
+
+@pytest.fixture()
+def executor(kernel):
+    return Executor(kernel)

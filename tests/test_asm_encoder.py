@@ -1,0 +1,84 @@
+"""Tests for the assembly Transformer encoder."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.encode import MAX_ASM_LEN, PAD
+from repro.pmm.asm_encoder import AsmEncoder, MaskedLMHead
+from repro.rng import make_rng
+
+
+@pytest.fixture()
+def encoder():
+    return AsmEncoder(vocab_size=50, dim=16, heads=2, layers=1,
+                      rng=make_rng(0))
+
+
+class TestAsmEncoder:
+    def test_pooled_shape(self, encoder):
+        tokens = np.zeros((3, MAX_ASM_LEN), dtype=np.int64)
+        tokens[:, :4] = make_rng(1).integers(3, 50, size=(3, 4))
+        pooled = encoder(tokens)
+        assert pooled.shape == (3, 16)
+
+    def test_padding_ignored_in_pool(self, encoder):
+        """Changing padded positions must not change pooled output."""
+        tokens = np.zeros((1, MAX_ASM_LEN), dtype=np.int64)
+        tokens[0, :3] = [5, 6, 7]
+        base = encoder(tokens).data
+        altered = tokens.copy()
+        # PAD rows stay PAD in the mask computation, so this must be
+        # identical to base by construction of the mask.
+        assert np.allclose(base, encoder(altered).data)
+
+    def test_order_sensitivity(self, encoder):
+        """Positional embeddings make token order matter."""
+        a = np.zeros((1, MAX_ASM_LEN), dtype=np.int64)
+        b = np.zeros((1, MAX_ASM_LEN), dtype=np.int64)
+        a[0, :3] = [5, 6, 7]
+        b[0, :3] = [7, 6, 5]
+        assert not np.allclose(encoder(a).data, encoder(b).data)
+
+    def test_contextual_states_shape(self, encoder):
+        tokens = np.zeros((2, MAX_ASM_LEN), dtype=np.int64)
+        tokens[:, :5] = 4
+        states = encoder.encode_tokens(tokens)
+        assert states.shape == (2, MAX_ASM_LEN, 16)
+
+    def test_mlm_head_projects_to_vocab(self, encoder):
+        head = MaskedLMHead(encoder, make_rng(2))
+        tokens = np.zeros((2, MAX_ASM_LEN), dtype=np.int64)
+        tokens[:, :3] = 9
+        logits = head(encoder.encode_tokens(tokens))
+        assert logits.shape == (2, MAX_ASM_LEN, 50)
+
+    def test_gradients_flow_through_pool(self, encoder):
+        tokens = np.zeros((2, MAX_ASM_LEN), dtype=np.int64)
+        tokens[:, :3] = 11
+        encoder.zero_grad()
+        encoder(tokens).sum().backward()
+        grads = [p.grad for p in encoder.parameters() if p.grad is not None]
+        assert grads
+        assert all(np.isfinite(g).all() for g in grads)
+
+
+class TestMaskTokens:
+    def test_mask_distribution(self):
+        from repro.pmm.pretrain import _mask_tokens
+
+        rng = make_rng(3)
+        batch = rng.integers(3, 50, size=(64, MAX_ASM_LEN))
+        masked, positions, original = _mask_tokens(batch, rng, 50)
+        rate = positions.mean()
+        assert 0.10 < rate < 0.20  # ~15% masking
+        # Unmasked positions are untouched.
+        assert np.array_equal(masked[~positions], original[~positions])
+
+    def test_pad_never_masked(self):
+        from repro.pmm.pretrain import _mask_tokens
+
+        rng = make_rng(4)
+        batch = np.zeros((8, MAX_ASM_LEN), dtype=np.int64)  # all PAD
+        masked, positions, _ = _mask_tokens(batch, rng, 50)
+        assert not positions.any()
+        assert (masked == PAD).all()

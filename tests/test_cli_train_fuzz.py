@@ -1,0 +1,39 @@
+"""End-to-end CLI test: train a tiny checkpoint, then fuzz with it."""
+
+from repro.cli import main
+
+
+class TestCliTrainFuzz:
+    def test_train_then_fuzz(self, tmp_path, capsys):
+        checkpoint = tmp_path / "pmm.npz"
+        code = main([
+            "train", "--size", "small", "--out", str(checkpoint),
+            "--corpus-size", "15", "--mutations", "20",
+            "--epochs", "1", "--dim", "16",
+        ])
+        assert code == 0
+        assert checkpoint.exists()
+        out = capsys.readouterr().out
+        assert "checkpoint written" in out
+
+        code = main([
+            "fuzz", "--size", "small", "--model", str(checkpoint),
+            "--hours", "0.1", "--seed-corpus", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snowplow" in out
+        assert "edges" in out
+
+    def test_baseline_fuzz(self, capsys):
+        code = main([
+            "fuzz", "--size", "small", "--baseline",
+            "--hours", "0.1", "--seed-corpus", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "syzkaller" in out
+
+    def test_fuzz_requires_model_or_baseline(self, capsys):
+        code = main(["fuzz", "--size", "small", "--hours", "0.1"])
+        assert code == 2

@@ -1,0 +1,118 @@
+"""Cross-version structural tests: the generalization substrate.
+
+Fig. 6b/6c rest on later releases sharing most code with the training
+release while adding new interfaces.  These tests pin the properties the
+builder must provide for that experiment to be meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernel import Executor, build_kernel
+from repro.kernel.blocks import BlockRole
+from repro.kernel.conditions import ArgCondition
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator
+from repro.syzlang.slots import slot_token
+
+
+@pytest.fixture(scope="module")
+def releases():
+    return {
+        version: build_kernel(version, seed=1, size="small")
+        for version in ("6.8", "6.9", "6.10")
+    }
+
+
+class TestSharedStructure:
+    def test_condition_slots_stable_across_versions(self, releases):
+        """The slot token of a given (syscall, path) condition is
+        version-independent — the property PMM's generalization uses."""
+        v68, v610 = releases["6.8"], releases["6.10"]
+        checked = 0
+        for name, cfg in v68.handlers.items():
+            other = v610.handlers.get(name)
+            if other is None:
+                continue
+            conds_a = {
+                (c.condition.syscall, c.condition.path_elements)
+                for c in cfg.blocks.values()
+                if c.role is BlockRole.CONDITION
+                and isinstance(c.condition, ArgCondition)
+            }
+            conds_b = {
+                (c.condition.syscall, c.condition.path_elements)
+                for c in other.blocks.values()
+                if c.role is BlockRole.CONDITION
+                and isinstance(c.condition, ArgCondition)
+            }
+            for syscall, path in conds_a & conds_b:
+                assert slot_token(syscall, path) == slot_token(syscall, path)
+                checked += 1
+        assert checked > 20
+
+    def test_shared_programs_execute_on_all_releases(self, releases):
+        """6.8 programs run unchanged on 6.9/6.10 (API is backward
+        compatible)."""
+        generator = ProgramGenerator(releases["6.8"].table, make_rng(0))
+        programs = generator.seed_corpus(10)
+        for version in ("6.9", "6.10"):
+            executor = Executor(releases[version])
+            for program in programs:
+                result = executor.run(program)
+                assert result.coverage.blocks
+
+    def test_perturbation_bounded(self, releases):
+        """Only a minority of shared handlers change across releases."""
+        v68, v69 = releases["6.8"], releases["6.9"]
+        changed = total = 0
+        for name, cfg in v68.handlers.items():
+            other = v69.handlers.get(name)
+            if other is None:
+                continue
+            total += 1
+            if sorted(b.asm for b in cfg.blocks.values()) != sorted(
+                b.asm for b in other.blocks.values()
+            ):
+                changed += 1
+        assert total > 0
+        assert changed / total < 0.4
+
+    def test_new_interfaces_have_new_coverage(self, releases):
+        """The 6.10-only rxrpc interface contributes blocks 6.8 lacks."""
+        v610 = releases["6.10"]
+        rxrpc_blocks = v610.blocks_of_subsystem("rxrpc")
+        assert rxrpc_blocks
+        assert not releases["6.8"].blocks_of_subsystem("rxrpc")
+
+    def test_bugs_planted_in_every_release(self, releases):
+        for kernel in releases.values():
+            assert "ata-oob" in kernel.bug_blocks
+
+
+class TestCrossVersionPredictions:
+    def test_trained_68_predicts_sensibly_on_610(self, releases):
+        """A 6.8-trained toy PMM applied to 6.10 programs must pick
+        argument paths of the program it is given (no index leakage)."""
+        from repro.graphs import AsmVocab, GraphEncoder, build_query_graph
+        from repro.pmm import PMM, PMMConfig
+
+        v68, v610 = releases["6.8"], releases["6.10"]
+        vocab = AsmVocab.build(v68)
+        encoder = GraphEncoder(vocab, v68.table)
+        model = PMM(
+            len(vocab), encoder.num_syscalls,
+            PMMConfig(dim=16, gnn_layers=1, asm_layers=1, asm_heads=2),
+        )
+        generator = ProgramGenerator(v610.table, make_rng(9))
+        executor = Executor(v610)
+        for _ in range(3):
+            program = generator.random_program()
+            coverage = executor.run(program).coverage
+            frontier = sorted(v610.frontier(coverage.blocks))[:5]
+            graph = build_query_graph(
+                program, coverage, v610, set(frontier)
+            )
+            encoded = encoder.encode(graph)
+            predicted = model.predict_paths(encoded)
+            assert set(predicted) <= set(program.mutation_sites())

@@ -1,0 +1,66 @@
+"""Tests for the §3.1 target-construction strategies."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.kernel import Executor
+from repro.pmm.dataset import DatasetConfig, harvest_mutations
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator
+
+
+def harvest(kernel, strategy, seed=77):
+    generator = ProgramGenerator(kernel.table, make_rng(seed))
+    executor = Executor(kernel)
+    corpus = generator.seed_corpus(10)
+    return harvest_mutations(
+        kernel, executor, generator, corpus,
+        DatasetConfig(
+            mutations_per_test=25, seed=seed, target_strategy=strategy
+        ),
+    )
+
+
+class TestTargetStrategies:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetConfig(target_strategy="telepathic")
+
+    def test_exact_strategy_one_example_per_sample(self, kernel):
+        dataset = harvest(kernel, "exact")
+        total = (
+            len(dataset.train)
+            + len(dataset.validation)
+            + len(dataset.evaluation)
+        )
+        # One example per sample, minus any dropped by the popularity cap.
+        assert 0 < total <= len(dataset.samples)
+
+    def test_exact_targets_are_new_coverage(self, kernel):
+        dataset = harvest(kernel, "exact")
+        by_targets = {
+            sample.new_blocks: sample for sample in dataset.samples
+        }
+        for example in dataset.train[:30]:
+            assert example.targets in by_targets
+            sample = by_targets[example.targets]
+            assert example.labels == sample.mutated_paths
+
+    def test_noisy_strategy_targets_are_frontier_subsets(self, kernel):
+        dataset = harvest(kernel, "noisy")
+        for example in dataset.train[:30]:
+            coverage = dataset.coverages[example.base_index]
+            frontier = kernel.frontier(coverage.blocks)
+            assert example.targets <= frontier
+
+    def test_noisy_produces_more_examples_than_exact(self, kernel):
+        noisy = harvest(kernel, "noisy")
+        exact = harvest(kernel, "exact")
+        noisy_total = len(noisy.train) + len(noisy.validation) + len(
+            noisy.evaluation
+        )
+        exact_total = len(exact.train) + len(exact.validation) + len(
+            exact.evaluation
+        )
+        # Option (c) yields up to 5 examples per sample.
+        assert noisy_total > exact_total

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts' building blocks stay runnable.
+
+Full example runs take minutes; these tests exercise their helper
+functions and a truncated version of each main path.
+"""
+
+import pytest
+
+from repro.kernel import Executor
+
+
+class TestCrashHuntingExample:
+    def test_ata_reproducer_builds_and_crashes(self, kernel):
+        import examples.crash_hunting as example
+
+        program = example.ata_reproducer(kernel)
+        program.validate(kernel.table)
+        result = Executor(kernel, seed=1).run(program)
+        assert result.crashed
+        assert result.crash.bug.bug_id == "ata-oob"
+
+
+class TestServingExample:
+    def test_pool_sweep_runs(self, capsys):
+        import examples.inference_serving as example
+
+        example.sweep_pool_sizes()
+        output = capsys.readouterr().out
+        assert "q/s" in output
+        assert "57" in output  # the paper reference line
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "examples.quickstart",
+            "examples.crash_hunting",
+            "examples.directed_fuzzing",
+            "examples.train_and_evaluate_pmm",
+            "examples.inference_serving",
+        ],
+    )
+    def test_importable_with_main(self, module):
+        imported = __import__(module, fromlist=["main"])
+        assert callable(imported.main)

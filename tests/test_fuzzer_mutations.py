@@ -1,0 +1,243 @@
+"""Tests for the argument instantiator and mutation engine."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import MutationError
+from repro.fuzzer import MutationEngine, RandomLocalizer, SyzkallerLocalizer
+from repro.fuzzer.engine import TypeSelector
+from repro.fuzzer.mutations import ArgumentInstantiator, MutationType
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator
+from repro.syzlang.program import (
+    ArgPath,
+    BufferValue,
+    IntValue,
+    ResourceValue,
+)
+from repro.syzlang.types import IntType
+
+
+@pytest.fixture()
+def instantiator(kernel, generator):
+    return ArgumentInstantiator(generator, make_rng(50))
+
+
+class TestInstantiator:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_mutated_programs_stay_valid(self, kernel, seed):
+        """Property: instantiating any mutation site keeps the program
+        well-formed."""
+        rng = make_rng(seed)
+        generator = ProgramGenerator(kernel.table, rng)
+        instantiator = ArgumentInstantiator(generator, rng)
+        program = generator.random_program()
+        sites = program.mutation_sites()
+        path = sites[int(rng.integers(len(sites)))]
+        instantiator.instantiate(program, path)
+        program.validate(kernel.table)
+
+    def test_int_stays_in_range(self, kernel, generator, instantiator):
+        ty = IntType(bits=32, minimum=10, maximum=50)
+        program = generator.random_program()
+        site = program.mutation_sites()[0]
+        program.set(site, IntValue(ty, 30))
+        for _ in range(100):
+            instantiator.instantiate(program, site)
+            value = program.get(site)
+            assert 10 <= value.value <= 50
+
+    def test_buffer_respects_max_len(self, kernel, generator, instantiator):
+        program = generator.random_program()
+        buffer_sites = [
+            path for path in program.mutation_sites()
+            if isinstance(program.get(path), BufferValue)
+        ]
+        if not buffer_sites:
+            pytest.skip("no buffer in this program")
+        site = buffer_sites[0]
+        max_len = program.get(site).ty.max_len
+        for _ in range(50):
+            instantiator.instantiate(program, site)
+            assert len(program.get(site).data) <= max_len
+
+    def test_resource_points_to_earlier_producer(
+        self, kernel, generator, instantiator
+    ):
+        for _ in range(30):
+            program = generator.random_program()
+            resource_sites = [
+                path for path in program.mutation_sites()
+                if isinstance(program.get(path), ResourceValue)
+            ]
+            for site in resource_sites:
+                instantiator.instantiate(program, site)
+                program.validate(kernel.table)
+
+    def test_immutable_path_rejected(self, kernel, generator, instantiator):
+        program = generator.random_program()
+        # Find a pointer (container) value: not a mutation site.
+        from repro.syzlang.program import PtrValue
+
+        ptr_path = next(
+            (path for path, value in program.walk()
+             if isinstance(value, PtrValue) and value.pointee is not None),
+            None,
+        )
+        if ptr_path is None:
+            pytest.skip("no pointer in this program")
+        with pytest.raises(MutationError):
+            instantiator.instantiate(program, ptr_path)
+
+    def test_len_desync_possible(self, kernel, generator):
+        """The length-desync strategy (the ATA trigger pattern) must be
+        reachable: some mutation makes a len field exceed its buffer."""
+        rng = make_rng(51)
+        instantiator = ArgumentInstantiator(generator, rng)
+        program = generator.random_program()
+        from repro.syzlang.types import LenType
+
+        len_sites = [
+            path for path in program.mutation_sites()
+            if isinstance(program.get(path).ty, LenType)
+        ]
+        if not len_sites:
+            pytest.skip("no len field in this program")
+        site = len_sites[0]
+        values = set()
+        for _ in range(60):
+            instantiator.instantiate(program, site)
+            values.add(program.get(site).value)
+        assert any(value >= 4096 for value in values)
+
+
+class TestTypeSelector:
+    def test_distribution(self):
+        selector = TypeSelector(0.6, 0.3, 0.1)
+        rng = make_rng(0)
+
+        class FakeProgram(list):
+            def __len__(self):
+                return 3
+
+        counts = {}
+        for _ in range(3000):
+            choice = selector.select(FakeProgram(), None, rng)
+            counts[choice] = counts.get(choice, 0) + 1
+        assert counts[MutationType.ARGUMENT_MUTATION] > counts[
+            MutationType.SYSCALL_INSERTION
+        ] > counts[MutationType.SYSCALL_REMOVAL]
+
+    def test_no_removal_of_single_call(self, kernel, generator):
+        selector = TypeSelector(0.0, 0.0, 1.0)
+        rng = make_rng(1)
+        program = generator.random_program(length=1)
+        if len(program) > 1:
+            pytest.skip("generator prepended producers")
+        assert (
+            selector.select(program, None, rng)
+            is MutationType.ARGUMENT_MUTATION
+        )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TypeSelector(-1.0, 0.5, 0.5)
+
+
+class TestMutationEngine:
+    def _engine(self, kernel, seed=0):
+        rng = make_rng(seed)
+        generator = ProgramGenerator(kernel.table, rng)
+        return MutationEngine(
+            TypeSelector(), SyzkallerLocalizer(k=1), generator, rng
+        ), generator
+
+    def test_base_never_modified(self, kernel):
+        engine, generator = self._engine(kernel)
+        from repro.syzlang import serialize_program
+
+        base = generator.random_program()
+        before = serialize_program(base)
+        for _ in range(30):
+            engine.mutate_test(base)
+        assert serialize_program(base) == before
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_mutants_valid(self, kernel, seed):
+        engine, generator = self._engine(kernel, seed)
+        base = generator.random_program()
+        outcome = engine.mutate_test(base)
+        outcome.program.validate(kernel.table)
+
+    def test_forced_paths_bypass_selection(self, kernel):
+        engine, generator = self._engine(kernel)
+        base = generator.random_program()
+        paths = base.mutation_sites()[:2]
+        outcome = engine.mutate_test(base, forced_paths=paths)
+        assert outcome.mutation_type is MutationType.ARGUMENT_MUTATION
+        assert outcome.mutated_paths == paths
+
+    def test_insertion_grows_program(self, kernel):
+        engine, generator = self._engine(kernel)
+        engine.selector = TypeSelector(0.0, 1.0, 0.0)
+        base = generator.random_program()
+        outcome = engine.mutate_test(base)
+        assert len(outcome.program) == len(base) + 1
+        outcome.program.validate(kernel.table)
+
+    def test_removal_shrinks_program(self, kernel):
+        engine, generator = self._engine(kernel)
+        engine.selector = TypeSelector(0.0, 0.0, 1.0)
+        base = generator.random_program(length=4)
+        outcome = engine.mutate_test(base)
+        assert len(outcome.program) == len(base) - 1
+        outcome.program.validate(kernel.table)
+
+
+class TestLocalizers:
+    def test_random_localizer_k(self, kernel, generator):
+        localizer = RandomLocalizer(8)
+        program = generator.random_program()
+        paths = localizer.localize(program, None, None, make_rng(0))
+        assert len(paths) == min(8, len(program.mutation_sites()))
+        assert len(set(paths)) == len(paths)
+
+    def test_random_localizer_bad_k(self):
+        with pytest.raises(ValueError):
+            RandomLocalizer(0)
+
+    def test_syzkaller_localizer_arity_bias(self, kernel, generator):
+        """Calls with more sites are picked more often."""
+        localizer = SyzkallerLocalizer(k=1)
+        rng = make_rng(2)
+        program = generator.random_program()
+        by_call = {}
+        for path in program.mutation_sites():
+            by_call[path.call_index] = by_call.get(path.call_index, 0) + 1
+        if len(by_call) < 2:
+            pytest.skip("single-call program")
+        counts = {}
+        for _ in range(600):
+            (path,) = localizer.localize(program, None, None, rng)
+            counts[path.call_index] = counts.get(path.call_index, 0) + 1
+        richest = max(by_call, key=by_call.get)
+        poorest = min(by_call, key=by_call.get)
+        if by_call[richest] > 2 * by_call[poorest]:
+            assert counts.get(richest, 0) > counts.get(poorest, 0)
+
+    def test_localizers_return_valid_sites(self, kernel, generator):
+        program = generator.random_program()
+        sites = set(program.mutation_sites())
+        for localizer in (RandomLocalizer(4), SyzkallerLocalizer(k=3)):
+            paths = localizer.localize(program, None, None, make_rng(3))
+            assert set(paths) <= sites

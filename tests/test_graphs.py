@@ -1,0 +1,208 @@
+"""Tests for query-graph construction and encoding (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    AsmVocab,
+    EdgeKind,
+    GraphEncoder,
+    Node,
+    NodeKind,
+    QueryGraph,
+    build_query_graph,
+)
+from repro.graphs.encode import MAX_ASM_LEN, PAD, UNK
+from repro.kernel import build_kernel
+from repro.syzlang.slots import SLOT_SPACE, slot_id
+
+
+@pytest.fixture()
+def executed(kernel, generator, executor):
+    program = generator.random_program()
+    result = executor.run(program)
+    return program, result.coverage
+
+
+class TestBuildQueryGraph:
+    def test_node_kinds_present(self, kernel, executed):
+        program, coverage = executed
+        targets = set(list(kernel.frontier(coverage.blocks))[:2])
+        graph = build_query_graph(program, coverage, kernel, targets)
+        graph.validate()
+        kinds = {node.kind for node in graph.nodes}
+        assert kinds == {
+            NodeKind.SYSCALL, NodeKind.ARG, NodeKind.COVERED,
+            NodeKind.ALTERNATIVE,
+        }
+
+    def test_syscall_count_matches_program(self, kernel, executed):
+        program, coverage = executed
+        graph = build_query_graph(program, coverage, kernel)
+        assert len(graph.node_indices(NodeKind.SYSCALL)) == len(program)
+
+    def test_arg_nodes_cover_all_values(self, kernel, executed):
+        program, coverage = executed
+        graph = build_query_graph(program, coverage, kernel)
+        expected = sum(1 for _ in program.walk())
+        assert len(graph.node_indices(NodeKind.ARG)) == expected
+
+    def test_covered_nodes_match_coverage(self, kernel, executed):
+        program, coverage = executed
+        graph = build_query_graph(program, coverage, kernel)
+        block_ids = {
+            node.block_id for node in graph.nodes
+            if node.kind is NodeKind.COVERED
+        }
+        assert block_ids == coverage.blocks
+
+    def test_alternatives_are_frontier(self, kernel, executed):
+        program, coverage = executed
+        graph = build_query_graph(program, coverage, kernel)
+        alt_ids = {
+            node.block_id for node in graph.nodes
+            if node.kind is NodeKind.ALTERNATIVE
+        }
+        assert alt_ids == kernel.frontier(coverage.blocks)
+
+    def test_targets_marked(self, kernel, executed):
+        program, coverage = executed
+        frontier = sorted(kernel.frontier(coverage.blocks))
+        targets = set(frontier[:3])
+        graph = build_query_graph(program, coverage, kernel, targets)
+        marked = {
+            graph.nodes[index].block_id for index in graph.target_nodes()
+        }
+        assert marked == targets
+
+    def test_every_edge_kind_present(self, kernel, executed):
+        program, coverage = executed
+        targets = set(list(kernel.frontier(coverage.blocks))[:1])
+        graph = build_query_graph(program, coverage, kernel, targets)
+        kinds = set(graph.edge_count_by_kind())
+        assert kinds == set(EdgeKind)
+
+    def test_context_switch_edges_per_call(self, kernel, executed):
+        program, coverage = executed
+        graph = build_query_graph(program, coverage, kernel)
+        count = graph.edge_count_by_kind()[EdgeKind.CONTEXT_SWITCH]
+        assert count == 2 * len(coverage.call_traces)
+
+    def test_mutable_arg_nodes_match_sites(self, kernel, executed):
+        program, coverage = executed
+        graph = build_query_graph(program, coverage, kernel)
+        mutable_paths = {
+            graph.nodes[index].arg_path
+            for index in graph.mutable_argument_nodes()
+        }
+        assert mutable_paths == set(program.mutation_sites())
+
+    def test_mismatched_coverage_rejected(self, kernel, executed):
+        from repro.kernel.coverage import Coverage
+
+        program, _ = executed
+        bogus = Coverage.from_traces([[1]] * (len(program) + 3))
+        with pytest.raises(GraphError):
+            build_query_graph(program, bogus, kernel)
+
+
+class TestQueryGraphSchema:
+    def test_bad_edge_rejected(self):
+        graph = QueryGraph()
+        graph.add_node(Node(kind=NodeKind.SYSCALL, syscall_name="x"))
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 5, EdgeKind.CALL_ORDER)
+
+    def test_target_on_non_alternative_rejected(self):
+        graph = QueryGraph()
+        graph.add_node(
+            Node(kind=NodeKind.COVERED, block_id=1, target=True)
+        )
+        with pytest.raises(GraphError):
+            graph.validate()
+
+    def test_arg_without_path_rejected(self):
+        from repro.syzlang.types import ArgKind
+
+        graph = QueryGraph()
+        graph.add_node(Node(kind=NodeKind.ARG, arg_kind=ArgKind.INT))
+        with pytest.raises(GraphError):
+            graph.validate()
+
+
+class TestAsmVocab:
+    def test_slot_tokens_always_present(self, kernel):
+        vocab = AsmVocab.build(kernel)
+        for slot in (0, 1, SLOT_SPACE - 1):
+            token = f"off_{slot:04x}"
+            assert vocab.id_of(token) != UNK
+
+    def test_slot_tokens_at_fixed_offsets(self, kernel):
+        """Slot s must live at vocab row 3 + s — the weight-tying
+        contract of PMM._slot_vectors."""
+        vocab = AsmVocab.build(kernel)
+        assert vocab.id_of("off_0000") == 3
+        assert vocab.id_of(f"off_{SLOT_SPACE - 1:04x}") == 3 + SLOT_SPACE - 1
+
+    def test_unknown_token_maps_to_unk(self, kernel):
+        vocab = AsmVocab.build(kernel)
+        assert vocab.id_of("fn_totally_new_subsystem") == UNK
+
+    def test_encode_pads(self, kernel):
+        vocab = AsmVocab.build(kernel)
+        ids = vocab.encode(("mov", "rax"))
+        assert len(ids) == MAX_ASM_LEN
+        assert ids[2] == PAD
+
+    def test_cross_version_tokens_degrade_gracefully(self, kernel):
+        """6.10-only assembly tokens encode as UNK under a 6.8 vocab,
+        but slot tokens keep their ids (cross-version generalization)."""
+        vocab68 = AsmVocab.build(kernel)
+        v610 = build_kernel("6.10", seed=1, size="small")
+        for block in v610.blocks.values():
+            for token in block.asm:
+                if token.startswith("off_"):
+                    assert vocab68.id_of(token) != UNK
+
+
+class TestGraphEncoder:
+    def test_encoding_shapes(self, kernel, executed):
+        program, coverage = executed
+        vocab = AsmVocab.build(kernel)
+        encoder = GraphEncoder(vocab, kernel.table)
+        graph = build_query_graph(program, coverage, kernel)
+        encoded = encoder.encode(graph)
+        n = encoded.num_nodes
+        assert encoded.node_kind.shape == (n,)
+        assert encoded.asm_tokens.shape == (n, MAX_ASM_LEN)
+        assert encoded.num_edges == 2 * len(graph.edges)  # reverse edges
+
+    def test_slot_feature_matches_slot_id(self, kernel, executed):
+        program, coverage = executed
+        vocab = AsmVocab.build(kernel)
+        encoder = GraphEncoder(vocab, kernel.table)
+        graph = build_query_graph(program, coverage, kernel)
+        encoded = encoder.encode(graph)
+        for index, node in enumerate(graph.nodes):
+            if node.kind is NodeKind.ARG:
+                spec = program.calls[node.arg_path.call_index].spec
+                expected = slot_id(spec.full_name, node.arg_path.elements)
+                assert encoded.slot[index] == expected + 1
+
+    def test_labels_encoded_on_arg_rows(self, kernel, executed):
+        program, coverage = executed
+        vocab = AsmVocab.build(kernel)
+        encoder = GraphEncoder(vocab, kernel.table)
+        graph = build_query_graph(program, coverage, kernel)
+        sites = program.mutation_sites()
+        labels = {sites[0]: True}
+        encoded = encoder.encode(graph, labels=labels)
+        assert encoded.labels is not None
+        assert encoded.labels.sum() == 1.0
+
+    def test_empty_graph_rejected(self, kernel):
+        vocab = AsmVocab.build(kernel)
+        encoder = GraphEncoder(vocab, kernel.table)
+        with pytest.raises(GraphError):
+            encoder.encode(QueryGraph())

@@ -1,0 +1,197 @@
+"""Tests for the kernel executor: determinism, coverage, crashes, state."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.kernel import BlockRole, Executor, build_kernel
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator
+from repro.syzlang.program import Call, IntValue, Program, zero_value
+from repro.syzlang.stdlib import ATA_16, ATA_NOP, ATA_PROT_PIO
+
+
+class TestDeterminism:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_noise_free_execution_is_deterministic(
+        self, kernel, generator, seed
+    ):
+        """Property (§3.1): from the VM snapshot, coverage is a pure
+        function of the program."""
+        program = ProgramGenerator(kernel.table, make_rng(seed)).random_program()
+        executor = Executor(kernel)
+        a = executor.run(program)
+        b = executor.run(program)
+        assert a.coverage.blocks == b.coverage.blocks
+        assert a.coverage.edges == b.coverage.edges
+        assert a.retvals == b.retvals
+
+    def test_noisy_execution_varies(self, kernel, generator):
+        program = generator.random_program(length=6)
+        noisy = Executor(kernel, noise=1.0, seed=1)
+        a = noisy.run(program)
+        b = noisy.run(program)
+        irq = set(kernel.interrupt_trace)
+        assert (a.coverage.blocks | b.coverage.blocks) & irq
+
+    def test_bad_noise_rejected(self, kernel):
+        with pytest.raises(ExecutionError):
+            Executor(kernel, noise=1.5)
+
+
+class TestExecutionSemantics:
+    def test_traces_follow_static_cfg(self, kernel, generator, executor):
+        program = generator.random_program()
+        result = executor.run(program)
+        for trace in result.coverage.call_traces:
+            for src, dst in zip(trace, trace[1:]):
+                assert dst in kernel.succs.get(src, ()), (
+                    f"executed edge {src}->{dst} not in static CFG"
+                )
+
+    def test_each_call_starts_at_entry(self, kernel, generator, executor):
+        program = generator.random_program()
+        result = executor.run(program)
+        for index, trace in enumerate(result.coverage.call_traces):
+            spec_name = program.calls[index].spec.full_name
+            assert trace[0] == kernel.handlers[spec_name].entry
+
+    def test_successful_producer_returns_handle(self, kernel, executor):
+        spec = kernel.table.lookup("socket")
+        program = Program(
+            [Call(spec, [zero_value(ty) for _, ty in spec.args])]
+        )
+        result = executor.run(program)
+        trace = result.coverage.call_traces[0]
+        last_block = kernel.blocks[trace[-1]]
+        if last_block.role is BlockRole.EXIT_SUCCESS:
+            assert result.retvals[0] >= 3
+        else:
+            assert result.retvals[0] <= 0
+
+    def test_null_resource_takes_error_path(self, kernel, executor):
+        spec = kernel.table.lookup("close")
+        program = Program(
+            [Call(spec, [zero_value(ty) for _, ty in spec.args])]
+        )
+        result = executor.run(program)
+        # NULL fd must fail the resource guard: EXIT_ERROR with errno.
+        assert result.retvals[0] < 0
+
+    def test_state_flags_propagate(self, kernel, executor, generator):
+        """Executing a call sets its subsystem flag, visible to
+        StateConditions of later calls."""
+        program = generator.random_program()
+        result = executor.run(program)
+        assert result.blocks_executed == sum(
+            len(t) for t in result.coverage.call_traces
+        )
+
+    def test_unknown_handler_rejected(self, kernel, executor):
+        other = build_kernel("6.10", seed=1, size="small")
+        spec = other.table.lookup("socket$rxrpc")
+        program = Program(
+            [Call(spec, [zero_value(ty) for _, ty in spec.args])]
+        )
+        with pytest.raises(ExecutionError):
+            executor.run(program)
+
+
+class TestAtaBug:
+    def _ata_program(self, kernel):
+        """The Table 4 bug #1 reproducer: open /dev/sg0 then send an
+        ATA_16 PIO NOP with an oversized outlen."""
+        table = kernel.table
+        open_spec = table.lookup("open$scsi")
+        ioctl_spec = table.lookup("ioctl$SCSI_IOCTL_SEND_COMMAND")
+        open_call = Call(
+            open_spec, [zero_value(ty) for _, ty in open_spec.args]
+        )
+        ioctl_call = Call(
+            ioctl_spec, [zero_value(ty) for _, ty in ioctl_spec.args]
+        )
+        program = Program([open_call, ioctl_call])
+        ioctl_call.args[0].producer = 0
+        arg = ioctl_call.args[2].pointee  # scsi_ioctl_command struct
+        outlen, cdb = arg.fields[1], arg.fields[2]
+        cdb.fields[0].value = ATA_16       # opcode
+        cdb.fields[1].value = ATA_PROT_PIO  # protocol
+        cdb.fields[3].value = ATA_NOP      # ata command
+        outlen.value = 4096                # > 512: insufficient check
+        return program
+
+    def test_ata_bug_triggers(self, kernel, executor):
+        program = self._ata_program(kernel)
+        result = executor.run(program)
+        assert result.crashed
+        assert result.crash.bug.bug_id == "ata-oob"
+
+    def test_ata_bug_needs_all_conditions(self, kernel, executor):
+        program = self._ata_program(kernel)
+        # Break one condition at a time; the bug must not fire.
+        breakers = [
+            lambda p: setattr(
+                p.calls[1].args[2].pointee.fields[2].fields[0], "value", 0x12
+            ),
+            lambda p: setattr(
+                p.calls[1].args[2].pointee.fields[2].fields[1], "value", 0x06
+            ),
+            lambda p: setattr(
+                p.calls[1].args[2].pointee.fields[2].fields[3], "value", 0xEC
+            ),
+            lambda p: setattr(
+                p.calls[1].args[2].pointee.fields[1], "value", 100
+            ),
+        ]
+        for breaker in breakers:
+            broken = program.clone()
+            breaker(broken)
+            result = executor.run(broken)
+            assert not (
+                result.crashed and result.crash.bug.bug_id == "ata-oob"
+            )
+
+    def test_ata_bug_needs_valid_fd(self, kernel, executor):
+        program = self._ata_program(kernel)
+        program.calls[1].args[0].producer = None
+        result = executor.run(program)
+        assert not result.crashed
+
+    def test_corruption_manifests_with_varied_signatures(self, kernel):
+        executor = Executor(kernel, seed=3)
+        program = self._ata_program(kernel)
+        signatures = {executor.run(program).crash.description
+                      for _ in range(40)}
+        assert len(signatures) > 3  # memory corruption, §5.3.2
+
+
+class TestCoverage:
+    def test_edge_extraction(self):
+        from repro.kernel.coverage import Coverage
+
+        coverage = Coverage.from_traces([[1, 2, 3], [2, 3]])
+        assert coverage.blocks == {1, 2, 3}
+        assert coverage.edges == {(1, 2), (2, 3)}
+
+    def test_merge_and_diff(self):
+        from repro.kernel.coverage import Coverage
+
+        a = Coverage.from_traces([[1, 2]])
+        b = Coverage.from_traces([[2, 3]])
+        assert b.new_blocks(a) == {3}
+        assert b.new_edges(a) == {(2, 3)}
+        a.merge(b)
+        assert a.blocks == {1, 2, 3}
+
+    def test_copy_is_independent(self):
+        from repro.kernel.coverage import Coverage
+
+        a = Coverage.from_traces([[1, 2]])
+        b = a.copy()
+        b.blocks.add(99)
+        assert 99 not in a.blocks

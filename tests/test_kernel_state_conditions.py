@@ -1,0 +1,137 @@
+"""Tests for conditions, kernel state, and their interaction."""
+
+import pytest
+
+from repro.kernel.conditions import (
+    ArgCondition,
+    CondOp,
+    StateCondition,
+    imm_token,
+    scalar_view,
+)
+from repro.kernel.state import KernelState
+from repro.syzlang.program import (
+    BufferValue,
+    ConstValue,
+    IntValue,
+    PtrValue,
+    ResourceValue,
+)
+from repro.syzlang.slots import slot_token
+from repro.syzlang.types import (
+    BufferType,
+    ConstType,
+    IntType,
+    PtrType,
+    ResourceKind,
+    ResourceType,
+)
+
+
+class TestScalarView:
+    def test_int(self):
+        assert scalar_view(IntValue(IntType(), 42)) == 42
+
+    def test_const(self):
+        assert scalar_view(ConstValue(ConstType(7))) == 7
+
+    def test_buffer_is_length(self):
+        assert scalar_view(BufferValue(BufferType(), b"abcd")) == 4
+
+    def test_null_pointer_is_zero(self):
+        assert scalar_view(PtrValue(PtrType(IntType()), 0, None)) == 0
+
+    def test_non_null_pointer_is_address(self):
+        value = PtrValue(PtrType(IntType()), 0x1000, IntValue(IntType(), 0))
+        assert scalar_view(value) == 0x1000
+
+    def test_unresolved_resource_is_zero(self):
+        fd = ResourceKind("fd")
+        assert scalar_view(ResourceValue(ResourceType(fd), 0)) == 0
+
+    def test_none_is_zero(self):
+        assert scalar_view(None) == 0
+
+
+class TestArgCondition:
+    def _cond(self, op, operand):
+        return ArgCondition("open", (1,), op, operand)
+
+    @pytest.mark.parametrize(
+        "op,operand,value,expected",
+        [
+            (CondOp.EQ, 5, 5, True),
+            (CondOp.EQ, 5, 6, False),
+            (CondOp.NE, 5, 6, True),
+            (CondOp.LT, 10, 9, True),
+            (CondOp.LT, 10, 10, False),
+            (CondOp.GT, 10, 11, True),
+            (CondOp.MASK_SET, 0b110, 0b111, True),
+            (CondOp.MASK_SET, 0b110, 0b100, False),
+            (CondOp.MASK_CLEAR, 0b110, 0b001, True),
+            (CondOp.MASK_CLEAR, 0b110, 0b010, False),
+        ],
+    )
+    def test_evaluate(self, op, operand, value, expected):
+        condition = self._cond(op, operand)
+        assert condition.evaluate({(1,): value}, KernelState()) is expected
+
+    def test_missing_arg_defaults_to_zero(self):
+        condition = self._cond(CondOp.EQ, 0)
+        assert condition.evaluate({}, KernelState())
+
+    def test_asm_contains_slot_token(self):
+        condition = self._cond(CondOp.EQ, 4096)
+        tokens = condition.asm_tokens()
+        assert slot_token("open", (1,)) in tokens
+        assert imm_token(4096) in tokens
+
+    def test_mask_ops_use_test_insn(self):
+        condition = self._cond(CondOp.MASK_SET, 2)
+        assert "test" in condition.asm_tokens()
+
+
+class TestImmToken:
+    def test_bucketing_monotone(self):
+        assert imm_token(0) == "imm_0"
+        assert imm_token(1) == "imm_1"
+        assert imm_token(3) == "imm_4"
+        assert imm_token(4096) == "imm_1000"
+        assert imm_token(10**9) == "imm_big"
+
+
+class TestStateCondition:
+    def test_reads_flags(self):
+        state = KernelState()
+        condition = StateCondition(key="fs:open:done")
+        assert not condition.evaluate({}, state)
+        state.flags["fs:open:done"] = 1
+        assert condition.evaluate({}, state)
+
+    def test_asm_mentions_state_key(self):
+        condition = StateCondition(key="fs:open:done")
+        assert "state_fs:open:done" in condition.asm_tokens()
+
+
+class TestKernelState:
+    def test_handle_lifecycle(self):
+        state = KernelState()
+        handle = state.open_handle("file_fd", flags=2, target=b"./f")
+        assert state.handle_valid(handle)
+        assert handle >= 3  # 0-2 reserved for stdio
+        assert state.close_handle(handle)
+        assert not state.handle_valid(handle)
+        assert not state.close_handle(handle)
+
+    def test_handles_unique(self):
+        state = KernelState()
+        a = state.open_handle("fd")
+        b = state.open_handle("fd")
+        assert a != b
+
+    def test_touch_file_idempotent(self):
+        state = KernelState()
+        first = state.touch_file(b"./x", mode=0o600)
+        second = state.touch_file(b"./x")
+        assert first is second
+        assert first.mode == 0o600

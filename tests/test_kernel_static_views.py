@@ -1,0 +1,71 @@
+"""Property tests on the kernel's static-analysis views."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.kernel import Executor
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator
+
+
+class TestStaticViews:
+    def test_guarding_condition_of_alternatives(self, kernel):
+        """Every frontier block of an execution has a conditional
+        predecessor (by construction: frontiers come from branches)."""
+        generator = ProgramGenerator(kernel.table, make_rng(90))
+        executor = Executor(kernel)
+        checked = 0
+        for _ in range(5):
+            coverage = executor.run(generator.random_program()).coverage
+            for block in kernel.frontier(coverage.blocks):
+                assert kernel.guarding_condition(block) is not None
+                checked += 1
+        assert checked > 0
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(0, 10_000))
+    def test_frontier_disjoint_from_coverage(self, kernel, seed):
+        generator = ProgramGenerator(kernel.table, make_rng(seed))
+        executor = Executor(kernel)
+        coverage = executor.run(generator.random_program()).coverage
+        frontier = kernel.frontier(coverage.blocks)
+        assert not (frontier & coverage.blocks)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(0, 10_000))
+    def test_frontier_reachable_in_one_hop(self, kernel, seed):
+        generator = ProgramGenerator(kernel.table, make_rng(seed))
+        executor = Executor(kernel)
+        coverage = executor.run(generator.random_program()).coverage
+        frontier = kernel.frontier(coverage.blocks)
+        one_hop = set()
+        for block in coverage.blocks:
+            one_hop.update(kernel.succs.get(block, ()))
+        assert frontier <= one_hop
+
+    def test_distance_from_matches_distance_to(self, kernel):
+        """Forward distance from {entry} agrees with reverse distance to
+        a fixed target, for blocks on shortest entry paths."""
+        name = sorted(kernel.handlers)[0]
+        cfg = kernel.handlers[name]
+        exits = cfg.exits()
+        forward = kernel.distance_from({cfg.entry})
+        backward = kernel.distance_to(exits[0])
+        # Triangle inequality: entry->exit length is bounded by any
+        # intermediate split.
+        if exits[0] in forward and cfg.entry in backward:
+            direct = forward[exits[0]]
+            assert direct <= backward[cfg.entry] + forward[cfg.entry]
+
+    def test_distance_maps_nonnegative(self, kernel):
+        name = sorted(kernel.handlers)[0]
+        cfg = kernel.handlers[name]
+        for distance in kernel.distance_to(cfg.exits()[0]).values():
+            assert distance >= 0

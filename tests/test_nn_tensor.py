@@ -1,0 +1,229 @@
+"""Autodiff tests: gradcheck properties on every op."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.nn import Tensor, concat, scatter_add, stack
+from repro.nn.tensor import no_grad
+from repro.rng import make_rng
+
+
+def numeric_grad(func, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        plus = x.copy()
+        plus[idx] += eps
+        minus = x.copy()
+        minus[idx] -= eps
+        grad[idx] = (func(plus) - func(minus)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(func, shape, seed=0, tol=1e-5):
+    rng = make_rng(seed)
+    x = rng.normal(size=shape)
+    tensor = Tensor(x, requires_grad=True)
+    func(tensor).backward()
+    numeric = numeric_grad(lambda arr: func(Tensor(arr)).item(), x)
+    assert np.abs(tensor.grad - numeric).max() < tol
+
+
+class TestElementwiseGrads:
+    def test_add_mul(self):
+        check_grad(lambda x: ((x + 2.0) * (x * 3.0)).sum(), (3, 4))
+
+    def test_sub_div(self):
+        check_grad(lambda x: ((x - 1.0) / (x * x + 2.0)).sum(), (4,))
+
+    def test_pow(self):
+        check_grad(lambda x: ((x * x + 1.0) ** 1.5).sum(), (3,))
+
+    def test_neg_rsub(self):
+        check_grad(lambda x: (5.0 - (-x)).sum(), (2, 2))
+
+    def test_relu(self):
+        check_grad(lambda x: (x.relu() * x).sum(), (5, 5), seed=3)
+
+    def test_sigmoid(self):
+        check_grad(lambda x: x.sigmoid().sum(), (4, 3))
+
+    def test_tanh(self):
+        check_grad(lambda x: x.tanh().sum(), (6,))
+
+    def test_exp_log(self):
+        check_grad(lambda x: ((x * x + 1.0).log() + (x * 0.1).exp()).sum(), (4,))
+
+    def test_sqrt(self):
+        check_grad(lambda x: (x * x + 1.0).sqrt().sum(), (4,))
+
+
+class TestBroadcastGrads:
+    def test_broadcast_add(self):
+        rng = make_rng(1)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_broadcast_mul_keepdim(self):
+        rng = make_rng(2)
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (2, 1)
+        assert np.allclose(b.grad[:, 0], a.data.sum(axis=1))
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self):
+        check_grad(lambda x: (x @ x.transpose()).sum(), (3, 4))
+
+    def test_matmul_batched(self):
+        rng = make_rng(4)
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        numeric = numeric_grad(
+            lambda arr: float(np.matmul(arr, b.data).sum()), a.data
+        )
+        assert np.abs(a.grad - numeric).max() < 1e-5
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self):
+        check_grad(lambda x: (x.sum(axis=1) ** 2.0).sum(), (3, 4))
+
+    def test_mean(self):
+        check_grad(lambda x: (x.mean(axis=-1, keepdims=True) * x).sum(), (3, 4))
+
+    def test_reshape(self):
+        check_grad(lambda x: (x.reshape(2, 6) ** 2.0).sum(), (3, 4))
+
+    def test_transpose_axes(self):
+        check_grad(lambda x: (x.transpose(1, 0) * 2.0).sum(), (2, 5))
+
+    def test_swapaxes(self):
+        check_grad(lambda x: x.swapaxes(0, 1).sigmoid().sum(), (3, 4))
+
+    def test_getitem(self):
+        check_grad(lambda x: (x[1:] * 3.0).sum(), (4, 2))
+
+    def test_softmax(self):
+        weights = make_rng(11).normal(size=(3, 5))
+        check_grad(lambda x: (x.softmax(axis=-1) * weights).sum(), (3, 5))
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = make_rng(5)
+        x = Tensor(rng.normal(size=(4, 7)) * 10)
+        assert np.allclose(x.softmax(axis=-1).data.sum(axis=-1), 1.0)
+
+
+class TestGatherScatter:
+    def test_index_select_grad(self):
+        rng = make_rng(6)
+        table = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2, 4])
+        (table.index_select(idx) * 2.0).sum().backward()
+        expected = np.zeros((5, 3))
+        np.add.at(expected, idx, 2.0)
+        assert np.allclose(table.grad, expected)
+
+    def test_scatter_add_values(self):
+        values = Tensor(np.ones((4, 2)), requires_grad=True)
+        out = scatter_add(values, np.array([0, 1, 1, 2]), 3)
+        assert np.allclose(out.data, [[1, 1], [2, 2], [1, 1]])
+        out.sum().backward()
+        assert np.allclose(values.grad, 1.0)
+
+    def test_concat_grad(self):
+        rng = make_rng(7)
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        (concat([a, b], axis=1) * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_stack_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        rng = make_rng(8)
+        logits = rng.normal(size=(6,))
+        targets = (rng.random(6) > 0.5).astype(float)
+        loss = Tensor(logits).bce_with_logits(targets)
+        probs = 1 / (1 + np.exp(-logits))
+        ref = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs))
+        assert loss.item() == pytest.approx(ref.mean(), abs=1e-9)
+
+    def test_grad(self):
+        rng = make_rng(9)
+        targets = (rng.random(5) > 0.5).astype(float)
+        check_grad(lambda x: x.bce_with_logits(targets), (5,), seed=10)
+
+    def test_weighted(self):
+        logits = Tensor(np.zeros(2))
+        targets = np.array([1.0, 0.0])
+        weights = np.array([3.0, 1.0])
+        loss = logits.bce_with_logits(targets, weights)
+        assert loss.item() == pytest.approx(np.log(2), abs=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            Tensor(np.zeros(3)).bce_with_logits(np.zeros(4))
+
+    def test_extreme_logits_stable(self):
+        loss = Tensor(np.array([1000.0, -1000.0])).bce_with_logits(
+            np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ModelError):
+            (x * 2).backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x.sum() + x.sum()).backward()
+        assert np.allclose(x.grad, 2.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = y + y * y
+        z.backward()
+        # dz/dx = 3 + 2*9*... : z = 3x + 9x^2 -> dz/dx = 3 + 18x = 39
+        assert x.grad[0] == pytest.approx(39.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_composite_gradcheck_property(self, seed):
+        """Property: backward matches numeric gradients for a random
+        composite expression."""
+        check_grad(
+            lambda x: ((x @ x.transpose()).sigmoid().sum()
+                       + (x * x).mean()),
+            (3, 2),
+            seed=seed,
+        )

@@ -1,0 +1,96 @@
+"""Tests for the oracle localizer (the mechanism's upper bound)."""
+
+import numpy as np
+
+from repro.kernel import Executor
+from repro.kernel.conditions import ArgCondition
+from repro.rng import make_rng
+from repro.snowplow.oracle import OracleLocalizer
+from repro.syzlang import ProgramGenerator
+
+
+class TestOracleLocalizer:
+    def test_returns_guard_paths(self, kernel, generator, executor):
+        oracle = OracleLocalizer(kernel)
+        rng = make_rng(0)
+        program = generator.random_program()
+        coverage = executor.run(program).coverage
+        frontier = [
+            block for block in sorted(kernel.frontier(coverage.blocks))
+            if isinstance(kernel.guarding_condition(block), ArgCondition)
+        ]
+        if not frontier:
+            return
+        targets = set(frontier[:4])
+        paths = oracle.localize(program, coverage, targets, rng)
+        # Every returned path matches some target's guard condition.
+        for path in paths:
+            call = program.calls[path.call_index]
+            matched = any(
+                (cond := kernel.guarding_condition(t)) is not None
+                and isinstance(cond, ArgCondition)
+                and cond.syscall == call.spec.full_name
+                and cond.path_elements == path.elements
+                for t in targets
+            )
+            assert matched
+
+    def test_empty_targets_empty_paths(self, kernel, generator):
+        oracle = OracleLocalizer(kernel)
+        program = generator.random_program()
+        assert oracle.localize(program, None, set(), make_rng(1)) == []
+
+    def test_max_paths_respected(self, kernel, generator, executor):
+        oracle = OracleLocalizer(kernel, max_paths=2)
+        program = generator.random_program()
+        coverage = executor.run(program).coverage
+        frontier = set(list(kernel.frontier(coverage.blocks))[:20])
+        paths = oracle.localize(program, coverage, frontier, make_rng(2))
+        assert len(paths) <= 2
+
+    def test_oracle_beats_random_at_target_hitting(self, kernel, executor):
+        """The white-box mechanism itself: mutating oracle paths hits
+        targets far more often than mutating random sites."""
+        from repro.fuzzer.mutations import ArgumentInstantiator
+
+        generator = ProgramGenerator(kernel.table, make_rng(3))
+        rng = make_rng(4)
+        instantiator = ArgumentInstantiator(generator, rng)
+        oracle = OracleLocalizer(kernel)
+        hits = {"oracle": 0, "random": 0}
+        tries = {"oracle": 0, "random": 0}
+        for _ in range(25):
+            base = generator.random_program()
+            coverage = executor.run(base).coverage
+            frontier = [
+                block
+                for block in sorted(kernel.frontier(coverage.blocks))
+                if isinstance(kernel.guarding_condition(block), ArgCondition)
+            ]
+            if not frontier:
+                continue
+            targets = set(frontier[:6])
+            oracle_paths = oracle.localize(base, coverage, targets, rng)
+            sites = base.mutation_sites()
+            for mode in ("oracle", "random"):
+                for _ in range(8):
+                    mutant = base.clone()
+                    if mode == "oracle":
+                        if not oracle_paths:
+                            continue
+                        path = oracle_paths[
+                            int(rng.integers(len(oracle_paths)))
+                        ]
+                    else:
+                        path = sites[int(rng.integers(len(sites)))]
+                    try:
+                        instantiator.instantiate(mutant, path)
+                    except Exception:
+                        continue
+                    tries[mode] += 1
+                    result = executor.run(mutant)
+                    if result.coverage.blocks & targets:
+                        hits[mode] += 1
+        oracle_rate = hits["oracle"] / max(tries["oracle"], 1)
+        random_rate = hits["random"] / max(tries["random"], 1)
+        assert oracle_rate > random_rate

@@ -1,0 +1,179 @@
+"""Tests for the §3.1 mutation-dataset pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.kernel import Executor
+from repro.pmm.dataset import (
+    DatasetConfig,
+    MutationExample,
+    MutationSample,
+    _apply_popularity_cap,
+    harvest_mutations,
+    make_examples,
+)
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator
+from repro.syzlang.program import ArgPath
+
+
+@pytest.fixture(scope="module")
+def dataset(kernel):
+    generator = ProgramGenerator(kernel.table, make_rng(200))
+    executor = Executor(kernel)
+    corpus = generator.seed_corpus(20)
+    config = DatasetConfig(mutations_per_test=40, seed=9)
+    return harvest_mutations(kernel, executor, generator, corpus, config)
+
+
+class TestHarvest:
+    def test_empty_corpus_rejected(self, kernel, generator, executor):
+        with pytest.raises(DatasetError):
+            harvest_mutations(
+                kernel, executor, generator, [], DatasetConfig()
+            )
+
+    def test_samples_reference_kept_bases(self, dataset):
+        for sample in dataset.samples:
+            assert 0 <= sample.base_index < len(dataset.programs)
+
+    def test_sample_new_blocks_disjoint_from_base(self, dataset):
+        for sample in dataset.samples[:50]:
+            base_cov = dataset.coverages[sample.base_index]
+            assert not (sample.new_blocks & base_cov.blocks)
+
+    def test_sample_paths_are_base_sites(self, dataset):
+        for sample in dataset.samples[:50]:
+            sites = set(dataset.programs[sample.base_index].mutation_sites())
+            assert sample.mutated_paths <= sites
+
+    def test_splits_partition_by_base(self, dataset):
+        train_bases = {e.base_index for e in dataset.train}
+        val_bases = {e.base_index for e in dataset.validation}
+        eval_bases = {e.base_index for e in dataset.evaluation}
+        assert not (train_bases & val_bases)
+        assert not (train_bases & eval_bases)
+        assert not (val_bases & eval_bases)
+
+    def test_stats_shape(self, dataset):
+        stats = dataset.stats()
+        assert stats["base_tests"] == len(dataset.programs)
+        assert stats["samples"] == len(dataset.samples)
+        assert stats["avg_mutation_sites"] > 0
+
+    def test_deterministic(self, kernel):
+        def build():
+            generator = ProgramGenerator(kernel.table, make_rng(300))
+            executor = Executor(kernel)
+            corpus = generator.seed_corpus(5)
+            return harvest_mutations(
+                kernel, executor, generator, corpus,
+                DatasetConfig(mutations_per_test=20, seed=4),
+            )
+
+        a, b = build(), build()
+        assert len(a.samples) == len(b.samples)
+        assert [s.new_blocks for s in a.samples] == [
+            s.new_blocks for s in b.samples
+        ]
+
+
+class TestMakeExamples:
+    def test_five_fraction_variants(self, kernel, dataset):
+        rng = make_rng(0)
+        sample = next(
+            s for s in dataset.samples
+            if s.new_blocks
+            & kernel.frontier(dataset.coverages[s.base_index].blocks)
+        )
+        peers = [s for s in dataset.samples if s.base_index == sample.base_index]
+        examples = make_examples(
+            sample, peers, dataset.coverages[sample.base_index], kernel, rng
+        )
+        assert len(examples) == 5
+
+    def test_targets_overlap_achieved(self, kernel, dataset):
+        """§3.1: every example's targets overlap the sample's near new
+        coverage — the model never trains on unreachable-only targets."""
+        rng = make_rng(1)
+        checked = 0
+        for sample in dataset.samples[:30]:
+            coverage = dataset.coverages[sample.base_index]
+            frontier = kernel.frontier(coverage.blocks)
+            achieved = sample.new_blocks & frontier
+            if not achieved:
+                continue
+            peers = [
+                s for s in dataset.samples
+                if s.base_index == sample.base_index
+            ]
+            for example in make_examples(sample, peers, coverage, kernel, rng):
+                assert example.targets & achieved
+                checked += 1
+        assert checked > 0
+
+    def test_labels_include_sample_paths(self, kernel, dataset):
+        rng = make_rng(2)
+        for sample in dataset.samples[:20]:
+            coverage = dataset.coverages[sample.base_index]
+            frontier = kernel.frontier(coverage.blocks)
+            if not sample.new_blocks & frontier:
+                continue
+            peers = [
+                s for s in dataset.samples
+                if s.base_index == sample.base_index
+            ]
+            for example in make_examples(sample, peers, coverage, kernel, rng):
+                # The sample's own achieved targets are among the example
+                # targets, so its mutated paths must be labelled.
+                assert sample.mutated_paths <= example.labels
+
+    def test_far_sample_skipped(self, kernel, dataset):
+        rng = make_rng(3)
+        sample = MutationSample(
+            base_index=0,
+            mutated_paths=frozenset({ArgPath(0, (0,))}),
+            new_blocks=frozenset({-1}),  # not in any frontier
+        )
+        coverage = dataset.coverages[0]
+        assert make_examples(sample, [sample], coverage, kernel, rng) == []
+
+
+class TestPopularityCap:
+    def _example(self, block, base=0):
+        return MutationExample(
+            base_index=base,
+            targets=frozenset({block}),
+            labels=frozenset({ArgPath(0, (0,))}),
+        )
+
+    def test_cap_enforced(self):
+        examples = [self._example(7) for _ in range(100)]
+        kept = _apply_popularity_cap(examples, cap=10, rng=make_rng(0))
+        assert len(kept) == 10
+
+    def test_unpopular_blocks_untouched(self):
+        examples = [self._example(block) for block in range(50)]
+        kept = _apply_popularity_cap(examples, cap=10, rng=make_rng(0))
+        assert len(kept) == 50
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(DatasetError):
+            _apply_popularity_cap([], cap=0, rng=make_rng(0))
+
+
+class TestEncoding:
+    def test_encode_example_labels(self, kernel, dataset):
+        from repro.graphs import AsmVocab, GraphEncoder
+
+        vocab = AsmVocab.build(kernel)
+        encoder = GraphEncoder(vocab, kernel.table)
+        example = (dataset.train or dataset.evaluation)[0]
+        encoded = dataset.encode_example(example, kernel, encoder)
+        assert encoded.labels is not None
+        labelled = int(encoded.labels.sum())
+        assert labelled == len(
+            set(example.labels)
+            & set(dataset.programs[example.base_index].mutation_sites())
+        )

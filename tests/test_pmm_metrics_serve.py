@@ -1,0 +1,130 @@
+"""Tests for selector metrics and the inference-serving simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.pmm.metrics import evaluate_selector, score_sets
+from repro.pmm.serve import InferenceService
+
+
+class TestScoreSets:
+    def test_perfect(self):
+        assert score_sets({1, 2}, {1, 2}) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_disjoint(self):
+        precision, recall, f1, jaccard = score_sets({1}, {2})
+        assert (precision, recall, f1, jaccard) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_partial(self):
+        precision, recall, f1, jaccard = score_sets({1, 2, 3, 4}, {1, 2})
+        assert precision == 0.5
+        assert recall == 1.0
+        assert f1 == pytest.approx(2 / 3)
+        assert jaccard == 0.5
+
+    def test_both_empty(self):
+        assert score_sets(set(), set()) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_empty_prediction(self):
+        precision, recall, f1, jaccard = score_sets(set(), {1})
+        assert precision == 0.0 and recall == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        predicted=st.frozensets(st.integers(0, 20), max_size=10),
+        truth=st.frozensets(st.integers(0, 20), max_size=10),
+    )
+    def test_metric_bounds_property(self, predicted, truth):
+        """Property: all four metrics live in [0, 1] and Jaccard <= F1
+        (a standard set-metric inequality)."""
+        precision, recall, f1, jaccard = score_sets(
+            set(predicted), set(truth)
+        )
+        for metric in (precision, recall, f1, jaccard):
+            assert 0.0 <= metric <= 1.0
+        assert jaccard <= f1 + 1e-12
+
+
+class TestEvaluateSelector:
+    def test_averaging(self):
+        metrics = evaluate_selector(
+            [{1}, {1, 2}], [{1}, {3}]
+        )
+        assert metrics.examples == 2
+        assert metrics.f1 == pytest.approx(0.5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_selector([{1}], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_selector([], [])
+
+    def test_row_format(self):
+        metrics = evaluate_selector([{1}], [{1}])
+        row = metrics.row("PMModel")
+        assert "PMModel" in row
+        assert "100.0%" in row
+
+
+class TestInferenceService:
+    def test_latency_applied(self):
+        service = InferenceService(lambda q: q, latency=10.0, servers=2)
+        ready = service.submit("q", now=0.0)
+        assert ready == 10.0
+        assert service.poll(9.9) == []
+        assert service.poll(10.0) == [("q", "q")]
+
+    def test_saturation_throughput(self):
+        service = InferenceService(lambda q: q, latency=0.69, servers=39)
+        assert service.saturation_throughput == pytest.approx(39 / 0.69)
+        # ~57 q/s, the paper's measured number (§5.5).
+        assert 55 < service.saturation_throughput < 58
+
+    def test_queueing_beyond_servers(self):
+        service = InferenceService(lambda q: q, latency=5.0, servers=1)
+        first = service.submit("a", now=0.0)
+        second = service.submit("b", now=0.0)
+        assert first == 5.0
+        assert second == 10.0  # waits for the single server
+
+    def test_queue_capacity(self):
+        service = InferenceService(
+            lambda q: q, latency=5.0, servers=1, max_queue=2
+        )
+        assert service.submit("a", now=0.0) is not None
+        assert service.submit("b", now=0.0) is not None
+        assert service.submit("c", now=0.0) is None  # full
+
+    def test_poll_order(self):
+        service = InferenceService(lambda q: q, latency=2.0, servers=2)
+        service.submit("a", now=0.0)
+        service.submit("b", now=1.0)
+        done = service.poll(10.0)
+        assert [query for query, _ in done] == ["a", "b"]
+
+    def test_stats(self):
+        service = InferenceService(lambda q: q * 2, latency=1.0, servers=1)
+        service.submit(3, now=0.0)
+        service.submit(4, now=0.0)
+        service.poll(10.0)
+        assert service.stats.submitted == 2
+        assert service.stats.completed == 2
+        # First waits 0, second waits 1.0 behind the busy server.
+        assert service.stats.total_queue_delay == pytest.approx(1.0)
+        assert service.stats.mean_latency == pytest.approx(1.5)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ModelError):
+            InferenceService(lambda q: q, latency=0.0)
+        with pytest.raises(ModelError):
+            InferenceService(lambda q: q, latency=1.0, servers=0)
+
+    def test_predictions_computed(self):
+        service = InferenceService(lambda q: q + 1, latency=1.0)
+        service.submit(41, now=0.0)
+        ((query, prediction),) = service.poll(2.0)
+        assert (query, prediction) == (41, 42)

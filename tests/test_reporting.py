@@ -1,0 +1,161 @@
+"""Tests for table/figure formatting."""
+
+import numpy as np
+
+from repro.fuzzer.crash import TriagedCrash
+from repro.fuzzer.directed import DirectedResult
+from repro.fuzzer.loop import FuzzObservation, FuzzStats
+from repro.kernel.bugs import CrashKind
+from repro.snowplow.campaign import CoverageCampaignResult, CrashCampaignResult
+from repro.snowplow.reporting import (
+    format_fig6,
+    format_table2,
+    format_table3,
+    format_table5,
+)
+from repro.syzlang.program import Program
+
+
+def make_stats(series):
+    """FuzzStats from (time, edges) pairs."""
+    stats = FuzzStats()
+    for time, edges in series:
+        stats.observations.append(
+            FuzzObservation(time=time, edges=edges, blocks=edges,
+                            executions=int(time))
+        )
+    return stats
+
+
+def make_campaign(snow_series, syz_series, horizon=100.0):
+    return CoverageCampaignResult(
+        kernel_version="6.8",
+        horizon=horizon,
+        syzkaller_runs=[make_stats(s) for s in syz_series],
+        snowplow_runs=[make_stats(s) for s in snow_series],
+    )
+
+
+class TestCoverageCampaignMetrics:
+    def test_improvement_percentage(self):
+        result = make_campaign(
+            [[(0, 0), (100, 110)]], [[(0, 0), (100, 100)]]
+        )
+        assert result.coverage_improvement == 10.0
+
+    def test_speedup_when_faster(self):
+        # Snowplow reaches 100 edges at t=25; Syzkaller at t=100.
+        snow = [[(0, 0), (25, 100), (100, 110)]]
+        syz = [[(0, 0), (100, 100)]]
+        result = make_campaign(snow, syz)
+        assert result.speedup >= 3.5
+
+    def test_speedup_below_one_when_never_reaching(self):
+        snow = [[(0, 0), (100, 50)]]
+        syz = [[(0, 0), (100, 100)]]
+        result = make_campaign(snow, syz)
+        assert result.speedup == 0.0
+
+    def test_bands_overlap(self):
+        snow = [[(0, 0), (100, 200)], [(0, 0), (100, 220)]]
+        syz = [[(0, 0), (100, 100)], [(0, 0), (100, 120)]]
+        result = make_campaign(snow, syz)
+        # Snowplow min (200-line) > Syzkaller max (120-line) late on.
+        assert not result.bands_overlap_after(90.0)
+
+    def test_discovery_auc_ratio(self):
+        # Snowplow holds more coverage throughout -> ratio > 1.
+        snow = [[(0, 0), (50, 100), (100, 110)]]
+        syz = [[(0, 0), (50, 40), (100, 110)]]
+        result = make_campaign(snow, syz)
+        assert result.discovery_auc_ratio() > 1.0
+        equal = make_campaign(syz, syz)
+        assert equal.discovery_auc_ratio() == 1.0
+
+    def test_fig6_text(self):
+        result = make_campaign(
+            [[(0, 0), (100, 110)]], [[(0, 0), (100, 100)]]
+        )
+        text = format_fig6([result])
+        assert "Linux 6.8" in text
+        assert "speedup" in text
+
+
+def crash(signature, new=True, repro=True, category=CrashKind.GPF):
+    return TriagedCrash(
+        signature=signature,
+        category=category,
+        is_new=new,
+        crashing_program=Program(),
+        reproducer=Program() if repro else None,
+    )
+
+
+class TestCrashTables:
+    def test_table2_counts(self):
+        result = CrashCampaignResult(
+            kernel_version="6.8",
+            snowplow_crashes=[
+                [crash("a"), crash("b"), crash("k", new=False)],
+                [crash("c")],
+            ],
+            syzkaller_crashes=[[crash("k", new=False)], []],
+        )
+        rows = result.table2_rows()
+        assert rows["snowplow_new"] == [2, 1]
+        assert rows["snowplow_known"] == [1, 0]
+        assert rows["syzkaller_new"] == [0, 0]
+        assert rows["syzkaller_known"] == [1, 0]
+        text = format_table2(result)
+        assert "New Crashes" in text and "Total" in text
+
+    def test_unique_new_crashes_dedup(self):
+        result = CrashCampaignResult(
+            kernel_version="6.8",
+            snowplow_crashes=[[crash("a")], [crash("a"), crash("b")]],
+            syzkaller_crashes=[[], []],
+        )
+        unique = result.unique_new_crashes()
+        assert {c.signature for c in unique} == {"a", "b"}
+
+    def test_table3_categories_and_totals(self):
+        crashes = [
+            crash("a", category=CrashKind.GPF),
+            crash("b", category=CrashKind.OOB, repro=False),
+            crash("c", category=CrashKind.RCU_STALL),
+        ]
+        text = format_table3(crashes)
+        assert "General protection fault" in text
+        assert "Out of bounds access" in text
+        # RCU stalls fold into "Other" per Table 3's categories.
+        assert "Other" in text
+        assert text.strip().endswith("2    1")
+
+
+class TestTable5:
+    def test_speedup_column(self):
+        results = {
+            5: {
+                "syzdirect": [
+                    DirectedResult(5, True, 100.0, 10),
+                    DirectedResult(5, True, 300.0, 30),
+                ],
+                "snowplow_d": [
+                    DirectedResult(5, True, 20.0, 2),
+                    DirectedResult(5, True, 20.0, 2),
+                ],
+            },
+            9: {
+                "syzdirect": [DirectedResult(9, False, None, 99)],
+                "snowplow_d": [DirectedResult(9, True, 50.0, 5)],
+            },
+            11: {
+                "syzdirect": [DirectedResult(11, False, None, 9)],
+                "snowplow_d": [DirectedResult(11, False, None, 9)],
+            },
+        }
+        text = format_table5(results, "6.8")
+        assert "10.0" in text      # 200/20 speedup
+        assert "INF" in text       # snowplow-only target
+        assert "NA" in text        # unreached target
+        assert "Subtotal" in text

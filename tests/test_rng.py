@@ -1,0 +1,82 @@
+"""Tests for deterministic RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import choice_weighted, derive_seed, make_rng, split
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 2**40)
+        b = make_rng(2).integers(0, 2**40)
+        assert a != b
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_label_order_matters(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) must differ from ("a", "b").
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_int_and_str_labels(self):
+        assert derive_seed(7, 1) == derive_seed(7, "1")
+
+    def test_range(self):
+        for label in range(50):
+            seed = derive_seed(0, label)
+            assert 0 <= seed < 2**63
+
+
+class TestSplit:
+    def test_split_independent(self):
+        a = split(0, "x")
+        b = split(0, "y")
+        draws_a = a.integers(0, 100, size=20)
+        draws_b = b.integers(0, 100, size=20)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_split_reproducible(self):
+        assert split(3, "k").random() == split(3, "k").random()
+
+
+class TestChoiceWeighted:
+    def test_respects_zero_weights(self):
+        rng = make_rng(0)
+        items = ["a", "b", "c"]
+        for _ in range(50):
+            assert choice_weighted(rng, items, [0.0, 1.0, 0.0]) == "b"
+
+    def test_empty_items_raises(self):
+        with pytest.raises(ValueError):
+            choice_weighted(make_rng(0), [], [])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            choice_weighted(make_rng(0), ["a"], [1.0, 2.0])
+
+    def test_all_zero_weights_uniform_fallback(self):
+        rng = make_rng(0)
+        seen = {choice_weighted(rng, ["a", "b"], [0.0, 0.0]) for _ in range(50)}
+        assert seen == {"a", "b"}
+
+    def test_distribution_roughly_proportional(self):
+        rng = make_rng(1)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[choice_weighted(rng, ["a", "b"], [3.0, 1.0])] += 1
+        ratio = counts["a"] / counts["b"]
+        assert 2.0 < ratio < 4.5

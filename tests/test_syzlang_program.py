@@ -1,0 +1,177 @@
+"""Tests for programs, values, paths, and structural edits."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.syzlang import build_standard_table
+from repro.syzlang.program import (
+    ArgPath,
+    BufferValue,
+    Call,
+    IntValue,
+    Program,
+    PtrValue,
+    ResourceValue,
+    StructValue,
+    zero_value,
+)
+from repro.syzlang.types import IntType
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_standard_table("6.8")
+
+
+def make_call(table, name):
+    spec = table.lookup(name)
+    return Call(spec, [zero_value(ty) for _, ty in spec.args])
+
+
+def make_program(table, *names):
+    return Program([make_call(table, name) for name in names])
+
+
+class TestZeroValue:
+    def test_zero_values_validate(self, table):
+        for spec in table:
+            call = make_call(table, spec.full_name)
+            call.validate()
+
+    def test_zero_program_validates(self, table):
+        program = make_program(table, "open", "read", "close")
+        program.validate(table)
+
+
+class TestWalk:
+    def test_walk_yields_nested_paths(self, table):
+        program = make_program(table, "sendmsg$inet")
+        paths = [path for path, _ in program.walk()]
+        # msghdr nesting: some path must be at least 4 elements deep
+        # (arg -> ptr -> struct field -> ptr -> ...).
+        assert max(len(p.elements) for p in paths) >= 4
+
+    def test_mutation_sites_are_mutable_leaves(self, table):
+        program = make_program(table, "open", "mmap")
+        for path in program.mutation_sites():
+            value = program.get(path)
+            assert value.ty.is_mutable()
+            assert not isinstance(value, (PtrValue, StructValue))
+
+    def test_get_set_roundtrip(self, table):
+        program = make_program(table, "mmap")
+        path = program.mutation_sites()[0]
+        old = program.get(path)
+        assert isinstance(old, IntValue)
+        program.set(path, IntValue(old.ty, 12345))
+        assert program.get(path).value == 12345
+
+    def test_get_bad_call_index(self, table):
+        program = make_program(table, "open")
+        with pytest.raises(ProgramError):
+            program.get(ArgPath(5, (0,)))
+
+    def test_get_bad_element(self, table):
+        program = make_program(table, "open")
+        with pytest.raises(ProgramError):
+            program.get(ArgPath(0, (99,)))
+
+    def test_clone_is_deep(self, table):
+        program = make_program(table, "mmap")
+        clone = program.clone()
+        path = program.mutation_sites()[0]
+        clone.set(path, IntValue(clone.get(path).ty, 777))
+        assert program.get(path).value != 777
+
+
+class TestResources:
+    def test_forward_reference_rejected(self, table):
+        program = make_program(table, "read", "open")
+        read_call = program.calls[0]
+        fd_value = read_call.args[0]
+        assert isinstance(fd_value, ResourceValue)
+        fd_value.producer = 1  # produced later -> invalid
+        with pytest.raises(ProgramError):
+            program.validate(table)
+
+    def test_valid_reference(self, table):
+        program = make_program(table, "open", "read")
+        fd = program.calls[1].args[0]
+        fd.producer = 0
+        program.validate(table)
+
+    def test_incompatible_producer_rejected(self, table):
+        # timerfd fd used where a scsi_fd is required.
+        program = make_program(
+            table, "timerfd_create", "ioctl$SCSI_IOCTL_SEND_COMMAND"
+        )
+        fd = program.calls[1].args[0]
+        fd.producer = 0
+        with pytest.raises(ProgramError):
+            program.validate(table)
+
+    def test_subtyped_producer_accepted(self, table):
+        # read() wants a plain fd; a sock satisfies it.
+        program = make_program(table, "socket", "read")
+        fd = program.calls[1].args[0]
+        fd.producer = 0
+        program.validate(table)
+
+
+class TestStructuralEdits:
+    def test_insert_shifts_references(self, table):
+        program = make_program(table, "open", "read")
+        program.calls[1].args[0].producer = 0
+        program.insert_call(0, make_call(table, "mkdir"))
+        assert program.calls[2].args[0].producer == 1
+        program.validate(table)
+
+    def test_remove_nullifies_dangling(self, table):
+        program = make_program(table, "open", "read")
+        program.calls[1].args[0].producer = 0
+        program.remove_call(0)
+        assert program.calls[0].args[0].producer is None
+        program.validate(table)
+
+    def test_remove_shifts_later_references(self, table):
+        program = make_program(table, "mkdir", "open", "read")
+        program.calls[2].args[0].producer = 1
+        program.remove_call(0)
+        assert program.calls[1].args[0].producer == 0
+        program.validate(table)
+
+    def test_insert_bad_index(self, table):
+        program = make_program(table, "open")
+        with pytest.raises(ProgramError):
+            program.insert_call(7, make_call(table, "open"))
+
+    def test_remove_bad_index(self, table):
+        program = make_program(table, "open")
+        with pytest.raises(ProgramError):
+            program.remove_call(3)
+
+
+class TestLenFields:
+    def test_resolve_len_fields(self, table):
+        program = make_program(table, "write")
+        # write(fd, buf, count=len(buf)); grow the buffer, re-resolve.
+        buf_path = next(
+            path for path, value in program.walk()
+            if isinstance(value, BufferValue)
+        )
+        program.set(buf_path, BufferValue(program.get(buf_path).ty, b"12345"))
+        program.resolve_len_fields()
+        count = program.calls[0].args[2]
+        assert isinstance(count, IntValue)
+        assert count.value == 5
+
+    def test_nested_len_fields(self, table):
+        program = make_program(table, "sendmsg$inet")
+        program.resolve_len_fields()
+        program.validate(table)
+
+    def test_arity_mismatch_rejected(self, table):
+        spec = table.lookup("close")
+        call = Call(spec, [])
+        with pytest.raises(ProgramError):
+            call.validate()

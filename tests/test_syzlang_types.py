@@ -1,0 +1,138 @@
+"""Tests for the Syzlang type system."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.syzlang.types import (
+    ArgKind,
+    ArrayType,
+    BufferKind,
+    BufferType,
+    ConstType,
+    FlagsType,
+    IntType,
+    LenType,
+    PtrType,
+    ResourceKind,
+    ResourceType,
+    StructType,
+)
+
+
+class TestIntType:
+    def test_defaults(self):
+        ty = IntType()
+        assert ty.bits == 64
+        assert ty.upper_bound == 2**64 - 1
+        assert ty.is_mutable()
+
+    def test_explicit_maximum(self):
+        ty = IntType(bits=32, minimum=5, maximum=10)
+        assert ty.upper_bound == 10
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(SpecError):
+            IntType(bits=12)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SpecError):
+            IntType(minimum=10, maximum=5)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(SpecError):
+            IntType(align=0)
+
+
+class TestFlagsType:
+    def test_names_for(self):
+        ty = FlagsType(flags=(("A", 1), ("B", 2), ("C", 4)))
+        assert ty.names_for(3) == ["A", "B"]
+        assert ty.names_for(0) == []
+
+    def test_zero_valued_flag_not_in_names(self):
+        ty = FlagsType(flags=(("NONE", 0), ("A", 1)))
+        assert ty.names_for(1) == ["A"]
+
+    def test_value_of(self):
+        ty = FlagsType(flags=(("A", 1), ("B", 2)))
+        assert ty.value_of("B") == 2
+        with pytest.raises(SpecError):
+            ty.value_of("Z")
+
+    def test_all_bits(self):
+        ty = FlagsType(flags=(("A", 1), ("B", 8)))
+        assert ty.all_bits() == 9
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecError):
+            FlagsType(flags=(("A", 1), ("A", 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            FlagsType(flags=())
+
+
+class TestResourceKind:
+    def test_self_compatible(self):
+        fd = ResourceKind("fd")
+        assert fd.compatible_with(fd)
+
+    def test_child_compatible_with_parent(self):
+        fd = ResourceKind("fd")
+        sock = ResourceKind("sock", parent=fd)
+        assert sock.compatible_with(fd)
+        assert not fd.compatible_with(sock)
+
+    def test_grandchild(self):
+        a = ResourceKind("a")
+        b = ResourceKind("b", parent=a)
+        c = ResourceKind("c", parent=b)
+        assert c.compatible_with(a)
+
+
+class TestStructType:
+    def test_field_lookup(self):
+        ty = StructType("s", fields=(("x", IntType()), ("y", IntType())))
+        assert ty.field_index("y") == 1
+        assert isinstance(ty.field_type("x"), IntType)
+
+    def test_missing_field(self):
+        ty = StructType("s", fields=(("x", IntType()),))
+        with pytest.raises(SpecError):
+            ty.field_type("nope")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SpecError):
+            StructType("s", fields=(("x", IntType()), ("x", IntType())))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            StructType("s", fields=())
+
+
+class TestKinds:
+    def test_buffer_kinds(self):
+        assert BufferType().kind is ArgKind.BUFFER
+        assert BufferType(buffer_kind=BufferKind.STRING).kind is ArgKind.STRING
+        assert (
+            BufferType(buffer_kind=BufferKind.FILENAME).kind
+            is ArgKind.FILENAME
+        )
+
+    def test_mutability(self):
+        fd = ResourceKind("fd")
+        assert not ConstType(5).is_mutable()
+        assert not PtrType(IntType()).is_mutable()
+        assert not StructType("s", fields=(("x", IntType()),)).is_mutable()
+        assert not ArrayType(IntType()).is_mutable()
+        assert LenType(path="buf").is_mutable()
+        assert ResourceType(fd).is_mutable()
+        assert BufferType().is_mutable()
+
+    def test_bad_buffer_range(self):
+        with pytest.raises(SpecError):
+            BufferType(min_len=5, max_len=2)
+
+    def test_bad_array_range(self):
+        with pytest.raises(SpecError):
+            ArrayType(IntType(), min_len=3, max_len=1)

@@ -1,0 +1,60 @@
+"""Tests for virtual time accounting."""
+
+import pytest
+
+from repro.vclock import CostModel, VirtualClock
+
+
+class TestVirtualClock:
+    def test_advance_accumulates(self):
+        clock = VirtualClock(horizon=100.0)
+        clock.advance(10.0, "execution")
+        clock.advance(5.0, "execution")
+        clock.advance(1.0, "triage")
+        assert clock.now == 16.0
+        assert clock.charges["execution"] == 15.0
+        assert clock.charges["triage"] == 1.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_expiry(self):
+        clock = VirtualClock(horizon=10.0)
+        assert not clock.expired()
+        clock.advance(10.0)
+        assert clock.expired()
+
+    def test_remaining_clamps_at_zero(self):
+        clock = VirtualClock(horizon=5.0)
+        clock.advance(9.0)
+        assert clock.remaining() == 0.0
+
+    def test_default_horizon_is_infinite(self):
+        clock = VirtualClock()
+        clock.advance(1e12)
+        assert not clock.expired()
+
+
+class TestCostModel:
+    def test_scaled_preserves_paper_latency_ratio(self):
+        cost = CostModel.scaled()
+        # Inference latency should stay ~269 test-execution slots, the
+        # paper's 0.69 s at 390 tests/s.
+        ratio = cost.inference_latency / cost.test_execution
+        assert 250 < ratio < 290
+
+    def test_paper_rates(self):
+        cost = CostModel.paper()
+        assert cost.inference_latency == pytest.approx(0.69)
+        assert 1.0 / cost.test_execution == pytest.approx(390.0)
+
+    def test_async_inference_free_on_loop(self):
+        assert CostModel.scaled().inference_charge == 0.0
+
+    def test_blocking_ablation_charges_latency(self):
+        cost = CostModel.scaled().blocking_inference()
+        assert cost.inference_charge == cost.inference_latency
+        # Other costs unchanged.
+        assert cost.test_execution == CostModel.scaled().test_execution

@@ -1,0 +1,61 @@
+"""Tests for the yield-accounting probe."""
+
+from repro.fuzzer import CrashTriage, MutationEngine, SyzkallerLocalizer
+from repro.fuzzer.engine import TypeSelector
+from repro.fuzzer.stats import MutationYield, YieldProbe
+from repro.fuzzer.loop import FuzzLoop
+from repro.kernel import Executor
+from repro.rng import make_rng
+from repro.syzlang import ProgramGenerator
+from repro.vclock import CostModel, VirtualClock
+
+
+class TestMutationYield:
+    def test_rates(self):
+        y = MutationYield(mutations=10, new_edges=5, productive=2)
+        assert y.edges_per_mutation == 0.5
+        assert y.hit_rate == 0.2
+
+    def test_zero_division_safe(self):
+        y = MutationYield()
+        assert y.edges_per_mutation == 0.0
+        assert y.hit_rate == 0.0
+
+
+class TestYieldProbe:
+    def _loop(self, kernel, horizon=400.0):
+        generator = ProgramGenerator(kernel.table, make_rng(0))
+        executor = Executor(kernel)
+        engine = MutationEngine(
+            TypeSelector(), SyzkallerLocalizer(k=1), generator, make_rng(1)
+        )
+        loop = FuzzLoop(
+            kernel, engine, executor, CrashTriage(executor, set()),
+            VirtualClock(horizon=horizon), CostModel(), make_rng(2),
+        )
+        loop.seed(generator.seed_corpus(8))
+        return loop
+
+    def test_accounts_every_mutation(self, kernel):
+        loop = self._loop(kernel)
+        probe = YieldProbe.attach(loop)
+        stats = loop.run()
+        total = sum(y.mutations for y in probe.yields.values())
+        assert total == sum(stats.mutations.values())
+
+    def test_edges_attributed_consistently(self, kernel):
+        loop = self._loop(kernel, horizon=800.0)
+        probe = YieldProbe.attach(loop)
+        seed_edges = len(loop.accumulated.edges)
+        stats = loop.run()
+        gained = stats.final_edges - seed_edges
+        attributed = sum(y.new_edges for y in probe.yields.values())
+        assert attributed == gained
+
+    def test_report_renders(self, kernel):
+        loop = self._loop(kernel)
+        probe = YieldProbe.attach(loop)
+        loop.run()
+        report = probe.report()
+        assert "edges/mut" in report
+        assert "argument_mutation" in report
