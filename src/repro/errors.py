@@ -1,7 +1,33 @@
 """Exception hierarchy for the repro package.
 
 Every subsystem raises subclasses of :class:`ReproError` so callers can
-catch library failures without masking programming errors.
+catch library failures without masking programming errors.  The full
+tree::
+
+    ReproError
+    ├── SpecError            bad syscall specification
+    ├── ParseError           bad syz-format program text
+    ├── ProgramError         program value violates its spec
+    ├── KernelBuildError     synthetic kernel construction failed
+    ├── ExecutionError       executor driven incorrectly (not a crash)
+    │   └── ExecutorHang     a call exceeded its step budget [TimeoutError]
+    ├── MutationError        mutation could not be applied
+    ├── GraphError           malformed mutation-query graph
+    ├── ModelError           PMM build/train/inference failure
+    │   └── InferenceTimeout serving request exhausted its retries
+    │                        [TimeoutError]
+    ├── DatasetError         dataset pipeline misconfigured/empty
+    └── CampaignError        experiment harness misconfigured
+        └── CheckpointError  campaign checkpoint missing/corrupt/unwritable
+
+The timeout family (:class:`ExecutorHang`, :class:`InferenceTimeout`)
+additionally inherits from :class:`TimeoutError`, so generic
+``except TimeoutError`` handlers — e.g. a watchdog wrapper around the
+executor — catch them without importing this module.  Under fault
+injection these conditions are normally *results*, not exceptions
+(:class:`~repro.kernel.executor.ExecTimeout`, drained serving failures);
+the exceptions fire only when the resilient path is disabled (no
+watchdog, strict serving mode) or a checkpoint store gives up.
 """
 
 from __future__ import annotations
@@ -37,6 +63,15 @@ class ExecutionError(ReproError):
     """The kernel executor was driven incorrectly (not a guest crash)."""
 
 
+class ExecutorHang(ExecutionError, TimeoutError):
+    """A call exceeded its step budget with the watchdog disabled.
+
+    With the watchdog enabled the same condition is reported as a
+    structured :class:`~repro.kernel.executor.ExecTimeout` result and
+    charged as a VM restart instead of raising.
+    """
+
+
 class MutationError(ReproError):
     """A mutation could not be applied at the requested location."""
 
@@ -49,9 +84,22 @@ class ModelError(ReproError):
     """PMM model construction, training, or inference failed."""
 
 
+class InferenceTimeout(ModelError, TimeoutError):
+    """A serving request missed its deadline on every allowed attempt.
+
+    Raised only by :class:`~repro.pmm.serve.InferenceService` in strict
+    mode; the resilient default delivers the failure through
+    ``drain_failures`` so the fuzz loop can fall back to heuristics.
+    """
+
+
 class DatasetError(ReproError):
     """The mutation dataset pipeline was misconfigured or produced no data."""
 
 
 class CampaignError(ReproError):
     """A fuzzing campaign/experiment harness was misconfigured."""
+
+
+class CheckpointError(CampaignError):
+    """A campaign checkpoint is missing, corrupt, or could not be written."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CampaignError
+from repro.faults import FaultInjector
 from repro.fuzzer.corpus import Corpus, CorpusEntry
 from repro.fuzzer.crash import CrashTriage, TriagedCrash
 from repro.fuzzer.engine import MutationEngine, MutationOutcome, MutationType
@@ -24,6 +25,10 @@ from repro.syzlang.program import Program
 from repro.vclock import CostModel, VirtualClock
 
 __all__ = ["FuzzLoop", "FuzzObservation", "FuzzStats"]
+
+# A transient corpus-store write failure is retried at most this often
+# before the write is forced through (the store is durable, just flaky).
+_CORPUS_WRITE_ATTEMPTS = 5
 
 
 @dataclass(frozen=True)
@@ -45,6 +50,24 @@ class FuzzStats:
     executions: int = 0
     mutations: dict[str, int] = field(default_factory=dict)
     corpus_size: int = 0
+    # --- resilience accounting (fault-injected campaigns) ---
+    # Hung calls the watchdog converted into VM restarts.
+    exec_timeouts: int = 0
+    vm_restarts: int = 0
+    # Inference requests lost to timeouts/slot crashes (incl. in-flight
+    # predictions dropped by a checkpoint resume).
+    inference_failures: int = 0
+    # Mutation queries routed to the heuristic localizer because the
+    # serving tier rejected the submission (queue full / breaker open).
+    heuristic_fallbacks: int = 0
+    # Transient corpus-store write failures that were retried.
+    corpus_write_retries: int = 0
+    # Circuit-breaker visibility, synced from InferenceStats at the end
+    # of a Snowplow run.
+    breaker_trips: int = 0
+    breaker_state: str = "closed"
+    # Times this run was restored from a campaign checkpoint.
+    resumes: int = 0
 
     @property
     def final_edges(self) -> int:
@@ -77,6 +100,7 @@ class FuzzLoop:
         cost: CostModel,
         rng: np.random.Generator,
         sample_interval: float = 300.0,
+        injector: FaultInjector | None = None,
     ):
         self.kernel = kernel
         self.engine = engine
@@ -86,6 +110,12 @@ class FuzzLoop:
         self.cost = cost
         self.rng = rng
         self.sample_interval = sample_interval
+        self.injector = injector
+        if injector is not None and executor.injector is None:
+            # One plan drives every layer: attach the loop's injector to
+            # the executor so VM hangs ride the same seeded schedule.
+            executor.injector = injector
+            executor.watchdog = True
         self.corpus = Corpus()
         self.accumulated = Coverage()
         self.stats = FuzzStats()
@@ -103,7 +133,7 @@ class FuzzLoop:
                 continue
             new_edges = result.coverage.new_edges(self.accumulated)
             self.accumulated.merge(result.coverage)
-            self.corpus.add(
+            self._admit(
                 program, result.coverage, signal=len(new_edges),
                 hints=frozenset(result.comparison_operands),
             )
@@ -112,18 +142,39 @@ class FuzzLoop:
 
     def run(self) -> FuzzStats:
         """Fuzz until the virtual clock reaches its horizon."""
-        if not self.corpus.entries:
-            raise CampaignError("seed() must be called before run()")
+        self._require_seeded()
         while not self.clock.expired():
-            self._sample()
-            entry = self.corpus.choose(self.rng)
-            outcome = self.propose_mutation(entry)
-            if outcome is None:
-                continue
-            self._run_candidate(entry, outcome)
+            self._iterate()
+        return self.finalize()
+
+    def run_until(self, time: float) -> None:
+        """Fuzz until virtual ``time`` (or the horizon), whichever first.
+
+        Used by checkpointed campaigns to run in bounded segments; call
+        :meth:`finalize` once the horizon is reached.
+        """
+        self._require_seeded()
+        while not self.clock.expired() and self.clock.now < time:
+            self._iterate()
+
+    def finalize(self) -> FuzzStats:
+        """Take the final coverage sample and return the run's stats."""
         self._sample(force=True)
         self.stats.corpus_size = len(self.corpus)
         return self.stats
+
+    def _iterate(self) -> None:
+        """One loop iteration (guaranteed to advance the clock)."""
+        self._sample()
+        entry = self.corpus.choose(self.rng)
+        outcome = self.propose_mutation(entry)
+        if outcome is None:
+            return
+        self._run_candidate(entry, outcome)
+
+    def _require_seeded(self) -> None:
+        if not self.corpus.entries:
+            raise CampaignError("seed() must be called before run()")
 
     def propose_mutation(self, entry: CorpusEntry) -> MutationOutcome | None:
         """One mutation of the chosen base test.
@@ -155,7 +206,7 @@ class FuzzLoop:
         new_edges = result.coverage.new_edges(self.accumulated)
         if new_edges:
             self.accumulated.merge(result.coverage)
-            self.corpus.add(
+            self._admit(
                 outcome.program, result.coverage, signal=len(new_edges),
                 hints=frozenset(result.comparison_operands),
             )
@@ -164,12 +215,40 @@ class FuzzLoop:
     def on_new_coverage(self, entry, outcome, coverage) -> None:
         """Hook for subclasses; default does nothing."""
 
+    def _admit(
+        self,
+        program: Program,
+        coverage: Coverage,
+        signal: int,
+        hints: frozenset[int],
+    ) -> CorpusEntry:
+        """Write a new entry to the corpus store, riding out transient
+        failures (a flaky disk/DB write under fault injection).  Each
+        retry costs a mutation-scale slice of virtual time."""
+        if self.injector is not None:
+            attempts = 0
+            while (
+                attempts < _CORPUS_WRITE_ATTEMPTS
+                and self.injector.fires("corpus_store", self.clock.now)
+            ):
+                attempts += 1
+                self.stats.corpus_write_retries += 1
+                self.clock.advance(self.cost.mutation, "corpus_retry")
+        return self.corpus.add(program, coverage, signal=signal, hints=hints)
+
     def _execute(self, program: Program):
         if self.clock.expired():
             return None
         self.clock.advance(self.cost.test_execution, "execution")
         self.stats.executions += 1
-        return self.executor.run(program)
+        result = self.executor.run(program, now=self.clock.now)
+        if result.timed_out:
+            # The watchdog killed a hung VM; restarting from snapshot
+            # costs real fleet time (§3.1's snapshot semantics).
+            self.stats.exec_timeouts += 1
+            self.stats.vm_restarts += 1
+            self.clock.advance(self.cost.vm_reset, "vm_restart")
+        return result
 
     def _sample(self, force: bool = False) -> None:
         if force or self.clock.now - self._last_sample >= self.sample_interval:

@@ -7,6 +7,15 @@ raised — no asynchronous kernel activity pollutes coverage.  Setting
 ``noise > 0`` re-introduces the nondeterministic interrupt coverage the
 paper eliminates by replacing RPC with virtio, which the determinism
 ablation uses to quantify label noise.
+
+Real QEMU guests also *hang*: a test wedges the VM, the fuzzer's
+watchdog kills it, and the VM is restarted from snapshot.  With the
+watchdog enabled (the default whenever a fault injector is attached), a
+runaway or injected-hang call is reported as a structured
+:class:`ExecTimeout` on the result — coverage collected up to the kill
+is kept, the VM-restart counter ticks, and the caller charges the
+restart cost — instead of raising.  Without the watchdog the same
+condition raises :class:`~repro.errors.ExecutorHang`.
 """
 
 from __future__ import annotations
@@ -15,7 +24,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ExecutorHang
+from repro.faults import FaultInjector
 from repro.kernel.blocks import BlockRole
 from repro.kernel.build import Kernel
 from repro.kernel.bugs import CrashReport
@@ -25,12 +35,26 @@ from repro.kernel.state import KernelState
 from repro.rng import make_rng
 from repro.syzlang.program import Program, ResourceValue
 
-__all__ = ["ExecResult", "Executor"]
+__all__ = ["ExecResult", "ExecTimeout", "Executor"]
 
 _MAX_STEPS_PER_CALL = 100_000
 # Probability that a non-reproducible (concurrency-flavoured) bug fires
 # when its guarded block is reached.
 _FLAKY_TRIGGER_PROB = 0.35
+
+
+@dataclass(frozen=True)
+class ExecTimeout:
+    """A call hung and the watchdog killed the VM.
+
+    ``steps`` is how many blocks the call executed before the kill;
+    ``reason`` is ``"injected_hang"`` (fault plan) or ``"step_budget"``
+    (a genuinely runaway CFG walk).
+    """
+
+    call_index: int
+    steps: int
+    reason: str
 
 
 @dataclass
@@ -45,10 +69,17 @@ class ExecResult:
     # what KCOV's comparison tracing (KCOV_CMP) exposes to Syzkaller,
     # which seeds integer mutations from them.
     comparison_operands: set[int] = field(default_factory=set)
+    # Set when the watchdog killed a hung call; the program's remaining
+    # calls did not run and the VM must be restarted from snapshot.
+    timeout: ExecTimeout | None = None
 
     @property
     def crashed(self) -> bool:
         return self.crash is not None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.timeout is not None
 
 
 class Executor:
@@ -58,28 +89,74 @@ class Executor:
     :class:`KernelState` (the VM snapshot is reloaded).
     """
 
-    def __init__(self, kernel: Kernel, noise: float = 0.0, seed: int = 0):
+    def __init__(
+        self,
+        kernel: Kernel,
+        noise: float = 0.0,
+        seed: int = 0,
+        injector: FaultInjector | None = None,
+        watchdog: bool | None = None,
+    ):
         if not 0.0 <= noise <= 1.0:
             raise ExecutionError(f"noise must be in [0, 1], got {noise}")
         self.kernel = kernel
         self.noise = noise
+        self.injector = injector
+        # Watchdog defaults on exactly when faults can be injected; a
+        # bare executor keeps raising so malformed CFGs stay loud.
+        self.watchdog = (injector is not None) if watchdog is None else watchdog
+        self.vm_restarts = 0
         self._rng = make_rng(seed)
 
-    def run(self, program: Program) -> ExecResult:
-        """Execute ``program`` from a fresh snapshot."""
+    def run(self, program: Program, now: float = 0.0) -> ExecResult:
+        """Execute ``program`` from a fresh snapshot.
+
+        ``now`` is the caller's virtual time, consulted only by the
+        fault injector's outage windows (the executor itself never
+        advances the clock).
+        """
         state = KernelState()
         retvals: list[int] = []
         call_traces: list[list[int]] = []
         crash: CrashReport | None = None
+        timeout: ExecTimeout | None = None
         executed = 0
         operands: set[int] = set()
         for call_index, call in enumerate(program.calls):
+            hang = (
+                self.injector is not None
+                and self.injector.fires("executor", now)
+            )
             flat = self._resolve_scalars(program, call_index, retvals)
-            trace, retval, crash = self._run_call(call, flat, state, operands)
+            try:
+                trace, retval, crash = self._run_call(
+                    call, flat, state, operands
+                )
+            except ExecutorHang as error:
+                if not self.watchdog:
+                    raise
+                trace = list(getattr(error, "trace", []))
+                timeout = ExecTimeout(
+                    call_index=call_index, steps=len(trace),
+                    reason="step_budget",
+                )
+            if hang and timeout is None:
+                # The injected hang strikes partway through the call:
+                # the watchdog kills the VM, keeping the coverage the
+                # guest reported before it wedged.
+                cut = max(1, int(self.injector.uniform("executor") * len(trace)))
+                trace = trace[:cut]
+                timeout = ExecTimeout(
+                    call_index=call_index, steps=len(trace),
+                    reason="injected_hang",
+                )
             executed += len(trace)
             if self.noise > 0 and self._rng.random() < self.noise:
                 trace = self._inject_interrupt(trace)
             call_traces.append(trace)
+            if timeout is not None:
+                self.vm_restarts += 1
+                break
             retvals.append(retval)
             if crash is not None:
                 break
@@ -90,6 +167,7 @@ class Executor:
             retvals=retvals,
             blocks_executed=executed,
             comparison_operands=operands,
+            timeout=timeout,
         )
 
     # ----- internals -----
@@ -169,10 +247,12 @@ class Executor:
                 current = succs[1] if taken else succs[0]
             else:
                 current = succs[0]
-        raise ExecutionError(
+        error = ExecutorHang(
             f"handler {call.spec.full_name} exceeded {_MAX_STEPS_PER_CALL} "
-            "steps; the CFG is malformed"
+            "steps"
         )
+        error.trace = trace
+        raise error
 
     def _inject_interrupt(self, trace: list[int]) -> list[int]:
         """Splice the interrupt pseudo-handler into a call trace."""

@@ -8,6 +8,23 @@ with the configured latency.  ``submit`` returns the virtual time at
 which the prediction becomes available; ``poll`` hands back completed
 predictions.  Saturation throughput is ``servers / latency`` — with the
 paper's 0.69 s latency, 39 slots give the measured ≈57 queries/second.
+
+The service is resilient by construction (the deployment's replicas
+time out and crash, §5.5):
+
+- prediction evaluation is **deferred** to ``poll`` — a request that is
+  lost to an injected timeout or slot crash never computes (or pays
+  for) a prediction that would be discarded;
+- each request carries a **deadline** and is retried with exponential
+  backoff in virtual time, up to ``max_retries`` times, all on the
+  seeded :class:`~repro.faults.FaultInjector` schedule;
+- a :class:`~repro.faults.CircuitBreaker` trips after consecutive
+  delivery failures; while open, ``submit`` rejects immediately and the
+  fuzzer routes localization to its heuristic fallback until a
+  half-open probe succeeds;
+- failures are observable: ``drain_failures`` hands back the lost
+  queries, and :class:`InferenceStats` counts rejections, timeouts,
+  slot crashes, retries, and breaker transitions.
 """
 
 from __future__ import annotations
@@ -15,23 +32,49 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from repro.errors import ModelError
+from repro.errors import InferenceTimeout, ModelError
+from repro.faults import CircuitBreaker, FaultInjector
 
 __all__ = ["InferenceService", "InferenceStats", "PendingPrediction"]
+
+# Failure kinds a request can be lost to.
+TIMEOUT = "timeout"
+SLOT_CRASH = "slot_crash"
 
 
 @dataclass
 class InferenceStats:
-    """Serving counters for the §5.5 characterisation."""
+    """Serving counters for the §5.5 characterisation.
+
+    ``rejected`` counts queue-full rejections (previously silent),
+    ``breaker_rejections`` counts submissions refused by an open
+    circuit breaker; both send the fuzzer down its heuristic path.
+    """
 
     submitted: int = 0
     completed: int = 0
+    rejected: int = 0
+    breaker_rejections: int = 0
+    timeouts: int = 0
+    slot_crashes: int = 0
+    retries: int = 0
+    failures: int = 0
+    breaker_trips: int = 0
+    breaker_state: str = "closed"
     total_latency: float = 0.0
     total_queue_delay: float = 0.0
 
     @property
     def mean_latency(self) -> float:
+        """Mean submit→delivery latency of *completed* requests."""
         return self.total_latency / self.completed if self.completed else 0.0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean wait for a free slot, over all admitted requests."""
+        return (
+            self.total_queue_delay / self.submitted if self.submitted else 0.0
+        )
 
 
 @dataclass(order=True)
@@ -39,6 +82,12 @@ class PendingPrediction:
     ready_at: float
     sequence: int
     payload: object = field(compare=False)
+    submitted_at: float = field(compare=False, default=0.0)
+    # None for a request that will deliver; TIMEOUT/SLOT_CRASH for one
+    # whose every attempt was lost (``ready_at`` is then the virtual
+    # time the failure is *observed*, after retries and backoff).
+    failure: str | None = field(compare=False, default=None)
+    attempts: int = field(compare=False, default=1)
 
 
 class InferenceService:
@@ -50,18 +99,36 @@ class InferenceService:
         latency: float,
         servers: int = 4,
         max_queue: int = 256,
+        deadline: float | None = None,
+        max_retries: int = 0,
+        retry_backoff: float | None = None,
+        injector: FaultInjector | None = None,
+        breaker: CircuitBreaker | None = None,
+        strict: bool = False,
     ):
         if latency <= 0:
             raise ModelError(f"latency must be positive, got {latency}")
         if servers < 1:
             raise ModelError(f"need at least one server, got {servers}")
+        if deadline is not None and deadline <= 0:
+            raise ModelError(f"deadline must be positive, got {deadline}")
+        if max_retries < 0:
+            raise ModelError(f"max_retries must be >= 0, got {max_retries}")
         self.predict_fn = predict_fn
         self.latency = latency
         self.servers = servers
         self.max_queue = max_queue
+        self.deadline = deadline
+        self.max_retries = max_retries
+        # First-retry delay; subsequent retries double it.
+        self.retry_backoff = latency if retry_backoff is None else retry_backoff
+        self.injector = injector
+        self.breaker = breaker
+        self.strict = strict
         self.stats = InferenceStats()
         self._server_free = [0.0] * servers
         self._pending: list[PendingPrediction] = []
+        self._failures: list[tuple[object, str]] = []
         self._sequence = 0
 
     @property
@@ -72,35 +139,154 @@ class InferenceService:
     def submit(self, query, now: float) -> float | None:
         """Enqueue a query at virtual time ``now``.
 
-        Returns the completion time, or None when the queue is full (the
-        fuzzer then falls back to heuristic mutation for this base).
+        Returns the delivery time (success or observed failure), or None
+        when the request is rejected — queue full, or circuit breaker
+        open — in which case the fuzzer falls back to heuristic
+        mutation for this base.
         """
+        if self.breaker is not None and not self.breaker.allow(now):
+            self.stats.breaker_rejections += 1
+            self._sync_breaker()
+            return None
         if len(self._pending) >= self.max_queue:
+            self.stats.rejected += 1
+            if self.breaker is not None:
+                # The breaker admitted this request (possibly as its
+                # half-open probe); un-reserve the probe so the next
+                # submission can carry it instead.
+                self.breaker.cancel_probe()
             return None
         slot = min(range(self.servers), key=lambda i: self._server_free[i])
-        start = max(now, self._server_free[slot])
-        ready = start + self.latency
+        first_start = max(now, self._server_free[slot])
+        start = first_start
+        failure: str | None = None
+        attempts = 0
+        while True:
+            attempts += 1
+            failure = self._attempt_failure(start)
+            if failure is None:
+                ready = start + self.latency
+                break
+            # A timed-out attempt is detected after the request deadline;
+            # a crashed slot only after the full service latency.
+            detection = (
+                self.deadline
+                if failure == TIMEOUT and self.deadline is not None
+                else self.latency
+            )
+            if attempts > self.max_retries:
+                ready = start + detection
+                break
+            self.stats.retries += 1
+            start = start + detection + self.retry_backoff * 2 ** (attempts - 1)
         self._server_free[slot] = ready
         self._sequence += 1
-        prediction = self.predict_fn(query)
         heapq.heappush(
             self._pending,
-            PendingPrediction(ready_at=ready, sequence=self._sequence,
-                              payload=(query, prediction)),
+            PendingPrediction(
+                ready_at=ready, sequence=self._sequence, payload=query,
+                submitted_at=now, failure=failure, attempts=attempts,
+            ),
         )
         self.stats.submitted += 1
-        self.stats.total_queue_delay += start - now
-        self.stats.total_latency += ready - now
+        self.stats.total_queue_delay += first_start - now
         return ready
 
     def poll(self, now: float) -> list[tuple[object, object]]:
-        """All (query, prediction) pairs completed by time ``now``."""
+        """All (query, prediction) pairs delivered by time ``now``.
+
+        Predictions are computed here, lazily: requests lost to injected
+        faults never invoke ``predict_fn``.  Lost queries are recorded
+        for :meth:`drain_failures` and, in strict mode, raise
+        :class:`~repro.errors.InferenceTimeout` instead.
+        """
         done: list[tuple[object, object]] = []
         while self._pending and self._pending[0].ready_at <= now:
             item = heapq.heappop(self._pending)
-            done.append(item.payload)
-            self.stats.completed += 1
+            if item.failure is None:
+                prediction = self.predict_fn(item.payload)
+                self.stats.completed += 1
+                self.stats.total_latency += item.ready_at - item.submitted_at
+                if self.breaker is not None:
+                    self.breaker.record_success(item.ready_at)
+                done.append((item.payload, prediction))
+                continue
+            self.stats.failures += 1
+            if item.failure == TIMEOUT:
+                self.stats.timeouts += 1
+            else:
+                self.stats.slot_crashes += 1
+            if self.breaker is not None:
+                self.breaker.record_failure(item.ready_at)
+            self._failures.append((item.payload, item.failure))
+            if self.strict:
+                self._sync_breaker()
+                raise InferenceTimeout(
+                    f"request lost to {item.failure} after "
+                    f"{item.attempts} attempt(s)"
+                )
+        self._sync_breaker()
         return done
+
+    def drain_failures(self) -> list[tuple[object, str]]:
+        """Queries lost since the last drain, with their failure kind."""
+        failures = self._failures
+        self._failures = []
+        return failures
 
     def pending_count(self) -> int:
         return len(self._pending)
+
+    # ----- checkpointing -----
+
+    def state_dict(self) -> dict:
+        """Serializable service state.  In-flight requests are *not*
+        captured — a crashed worker loses them (§3.4's degradation
+        story); the count is recorded so a resumed campaign can account
+        the loss."""
+        return {
+            "server_free": list(self._server_free),
+            "sequence": self._sequence,
+            "lost_in_flight": len(self._pending),
+            "stats": {
+                key: getattr(self.stats, key)
+                for key in (
+                    "submitted", "completed", "rejected",
+                    "breaker_rejections", "timeouts", "slot_crashes",
+                    "retries", "failures", "breaker_trips", "breaker_state",
+                    "total_latency", "total_queue_delay",
+                )
+            },
+            "breaker": (
+                self.breaker.state_dict() if self.breaker is not None else None
+            ),
+        }
+
+    def restore(self, state: dict) -> int:
+        """Restore :meth:`state_dict`; returns the lost in-flight count."""
+        self._server_free = [float(value) for value in state["server_free"]]
+        self._sequence = int(state["sequence"])
+        self._pending = []
+        self._failures = []
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
+        if state.get("breaker") is not None and self.breaker is not None:
+            self.breaker.restore(state["breaker"])
+        return int(state.get("lost_in_flight", 0))
+
+    # ----- internals -----
+
+    def _attempt_failure(self, start: float) -> str | None:
+        """Fault decision for one service attempt starting at ``start``."""
+        if self.injector is None:
+            return None
+        if self.injector.fires("inference", start):
+            return TIMEOUT
+        if self.injector.fires("server_slot", start):
+            return SLOT_CRASH
+        return None
+
+    def _sync_breaker(self) -> None:
+        if self.breaker is not None:
+            self.stats.breaker_trips = self.breaker.trips
+            self.stats.breaker_state = self.breaker.state.value

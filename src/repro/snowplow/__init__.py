@@ -17,11 +17,20 @@ from repro.snowplow.campaign import (
     CampaignConfig,
     CoverageCampaignResult,
     CrashCampaignResult,
+    FaultCampaignResult,
     run_coverage_campaign,
     run_crash_campaign,
     run_directed_campaign,
+    run_fault_tolerance_campaign,
     train_pmm,
     TrainedPMM,
+)
+from repro.snowplow.checkpointing import (
+    CheckpointStore,
+    load_checkpoint,
+    loop_state,
+    restore_loop_state,
+    save_checkpoint,
 )
 from repro.snowplow.reporting import (
     format_fig6,
@@ -33,8 +42,10 @@ from repro.snowplow.reporting import (
 
 __all__ = [
     "CampaignConfig",
+    "CheckpointStore",
     "CoverageCampaignResult",
     "CrashCampaignResult",
+    "FaultCampaignResult",
     "PMMLocalizer",
     "SnowplowConfig",
     "SnowplowLoop",
@@ -44,8 +55,13 @@ __all__ = [
     "format_table2",
     "format_table3",
     "format_table5",
+    "load_checkpoint",
+    "loop_state",
+    "restore_loop_state",
     "run_coverage_campaign",
     "run_crash_campaign",
     "run_directed_campaign",
+    "run_fault_tolerance_campaign",
+    "save_checkpoint",
     "train_pmm",
 ]

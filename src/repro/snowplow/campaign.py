@@ -11,6 +11,10 @@ Each function reproduces one experimental protocol:
   crash triage, the known-crash (Syzbot) list, and reproducer minimisation;
 - :func:`run_directed_campaign` — Table 5: time-to-target for SyzDirect
   vs Snowplow-D over a set of bug-related code locations.
+- :func:`run_fault_tolerance_campaign` — the failure model: the same
+  seed run fault-free and under an injected :class:`~repro.faults.FaultPlan`
+  (inference outages, VM hangs, flaky stores, a mid-run worker crash
+  resumed from checkpoint), with the graceful-degradation summary.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CampaignError
+from repro.faults import FaultInjector, FaultPlan
 from repro.fuzzer.crash import CrashTriage, TriagedCrash
 from repro.fuzzer.directed import DirectedFuzzer, DirectedResult, SyzDirectLocalizer
 from repro.fuzzer.engine import MutationEngine, TypeSelector
@@ -34,6 +39,11 @@ from repro.pmm.metrics import SelectorMetrics
 from repro.pmm.model import PMM, PMMConfig
 from repro.pmm.train import TrainConfig, Trainer
 from repro.rng import derive_seed, split
+from repro.snowplow.checkpointing import (
+    CheckpointStore,
+    loop_state,
+    restore_loop_state,
+)
 from repro.snowplow.fuzzer import PMMLocalizer, SnowplowConfig, SnowplowLoop
 from repro.syzlang.generator import ProgramGenerator
 from repro.vclock import CostModel, VirtualClock
@@ -42,12 +52,14 @@ __all__ = [
     "CampaignConfig",
     "CoverageCampaignResult",
     "CrashCampaignResult",
+    "FaultCampaignResult",
     "TrainedPMM",
     "default_directed_targets",
     "known_crash_signatures",
     "run_coverage_campaign",
     "run_crash_campaign",
     "run_directed_campaign",
+    "run_fault_tolerance_campaign",
     "train_pmm",
 ]
 
@@ -216,7 +228,8 @@ class CoverageCampaignResult:
 
 
 def _build_syzkaller_loop(
-    kernel: Kernel, run_seed: int, config: CampaignConfig
+    kernel: Kernel, run_seed: int, config: CampaignConfig,
+    injector: FaultInjector | None = None,
 ) -> FuzzLoop:
     executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
     generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
@@ -229,12 +242,14 @@ def _build_syzkaller_loop(
     return FuzzLoop(
         kernel, engine, executor, triage, clock, config.cost,
         split(run_seed, "loop"), sample_interval=config.sample_interval,
+        injector=injector,
     )
 
 
 def _build_snowplow_loop(
     kernel: Kernel, trained: TrainedPMM, run_seed: int,
     config: CampaignConfig, oracle: bool = False,
+    injector: FaultInjector | None = None,
 ) -> SnowplowLoop:
     executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
     generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
@@ -258,6 +273,7 @@ def _build_snowplow_loop(
         kernel, engine, executor, triage, clock, config.cost,
         split(run_seed, "loop"), sample_interval=config.sample_interval,
         localizer=localizer, snowplow_config=config.snowplow,
+        injector=injector,
     )
 
 
@@ -366,6 +382,137 @@ def run_crash_campaign(
         kernel_version=kernel.version,
         snowplow_crashes=snowplow_crashes,
         syzkaller_crashes=syzkaller_crashes,
+    )
+
+
+# ----- fault tolerance (failure model) -----
+
+
+@dataclass
+class FaultCampaignResult:
+    """One seed run twice: fault-free, and under an injected fault plan.
+
+    Graceful degradation means the faulted run ends within a tolerance
+    of the fault-free coverage instead of collapsing, while the failure
+    ledger (restarts, lost predictions, breaker trips, resumes) shows
+    the faults actually happened.
+    """
+
+    kernel_version: str
+    horizon: float
+    fault_free: FuzzStats
+    faulted: FuzzStats
+    crash_time: float | None
+    checkpoints_taken: int
+    resumed: bool
+
+    @property
+    def coverage_ratio(self) -> float:
+        """Faulted final edge coverage as a fraction of fault-free."""
+        baseline = self.fault_free.final_edges
+        if baseline == 0:
+            return 1.0
+        return self.faulted.final_edges / baseline
+
+    @property
+    def degradation_pct(self) -> float:
+        return 100.0 * (1.0 - self.coverage_ratio)
+
+    def degraded_gracefully(self, tolerance_pct: float = 15.0) -> bool:
+        """Within tolerance of the fault-free run of the same seed."""
+        return self.degradation_pct <= tolerance_pct
+
+
+def run_fault_tolerance_campaign(
+    kernel: Kernel,
+    trained: TrainedPMM,
+    config: CampaignConfig,
+    plan: FaultPlan,
+    checkpoint_interval: float | None = None,
+    checkpoint_dir: str | None = None,
+) -> FaultCampaignResult:
+    """Run one seed fault-free and under ``plan``, with checkpoint/resume.
+
+    The faulted run checkpoints every ``checkpoint_interval`` virtual
+    seconds (default: an eighth of the horizon).  If the plan schedules
+    a ``campaign_crash`` window, the live loop is discarded at that
+    virtual time — exactly as a killed worker would lose it — and a
+    fresh loop is rebuilt from the same construction seeds, restored
+    from the latest checkpoint, and run to the horizon.  Everything,
+    including the remainder of the fault schedule, replays from the
+    single campaign seed.
+    """
+    if checkpoint_interval is None:
+        checkpoint_interval = config.horizon / 8.0
+    if checkpoint_interval <= 0:
+        raise CampaignError(
+            f"checkpoint interval must be positive, got {checkpoint_interval}"
+        )
+    run_seed = derive_seed(config.seed, "fault-run", kernel.version)
+    seeds = ProgramGenerator(
+        kernel.table, split(run_seed, "seed-corpus")
+    ).seed_corpus(config.seed_corpus_size)
+
+    # Reference: the same seed with nothing failing.
+    clean = _build_snowplow_loop(kernel, trained, run_seed, config)
+    clean.seed([program.clone() for program in seeds])
+    fault_free = clean.run()
+
+    # Degraded: same seed, same construction, faults injected.
+    injector = FaultInjector(plan)
+    loop = _build_snowplow_loop(
+        kernel, trained, run_seed, config, injector=injector
+    )
+    loop.seed([program.clone() for program in seeds])
+    store = (
+        CheckpointStore(checkpoint_dir, injector=injector)
+        if checkpoint_dir is not None else None
+    )
+    crash_time = injector.crash_time()
+    last_state: dict | None = None
+    next_checkpoint = checkpoint_interval
+    checkpoints = 0
+    resumed = False
+    while not loop.clock.expired():
+        bound = next_checkpoint
+        if crash_time is not None and not resumed:
+            bound = min(bound, crash_time)
+        loop.run_until(bound)
+        if (
+            crash_time is not None and not resumed
+            and loop.clock.now >= crash_time
+        ):
+            # The injected crash kills the worker: the live loop (and
+            # its in-flight inference) is gone.  Rebuild and resume.
+            loop = _build_snowplow_loop(
+                kernel, trained, run_seed, config,
+                injector=FaultInjector(plan),
+            )
+            if last_state is not None:
+                restore_loop_state(loop, last_state)
+            else:
+                # Crashed before the first checkpoint: restart from the
+                # seed corpus, which is all a worker with no durable
+                # state can do.
+                loop.seed([program.clone() for program in seeds])
+                loop.stats.resumes += 1
+            resumed = True
+            continue
+        if not loop.clock.expired() and loop.clock.now >= next_checkpoint:
+            last_state = loop_state(loop)
+            if store is not None:
+                store.save(last_state)
+            checkpoints += 1
+            next_checkpoint += checkpoint_interval
+    faulted = loop.finalize()
+    return FaultCampaignResult(
+        kernel_version=kernel.version,
+        horizon=config.horizon,
+        fault_free=fault_free,
+        faulted=faulted,
+        crash_time=crash_time,
+        checkpoints_taken=checkpoints,
+        resumed=resumed,
     )
 
 

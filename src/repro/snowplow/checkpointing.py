@@ -1,0 +1,318 @@
+"""Campaign checkpoint/resume: crash a worker, lose nothing that matters.
+
+Multi-day campaigns survive worker restarts in the real deployment; this
+module gives the reproduction the same property.  A checkpoint captures
+*everything* that feeds the deterministic simulation — corpus (programs,
+per-entry coverage traces, scheduling counters), accumulated coverage,
+the full :class:`~repro.fuzzer.loop.FuzzStats` ledger including triaged
+crashes, every RNG stream (loop, mutation engine, program generator,
+executor, fault injector), the virtual clock with its cost attribution,
+and the serving tier's slot/breaker state — so a loop restored from a
+checkpoint continues **bit-identically**: two restores of the same
+checkpoint produce byte-equal remainders of the campaign.
+
+The one deliberate loss is in-flight inference: requests pending inside
+the serving tier die with the worker (as they would with a real
+torchserve replica), and the resumed run books them under
+``FuzzStats.inference_failures`` instead of pretending they survived.
+
+On-disk checkpoints are single JSON files with a content digest;
+corruption, truncation, or version skew raises
+:class:`~repro.errors.CheckpointError` rather than silently resuming
+from garbage.  :class:`CheckpointStore` adds bounded retention and
+rides out injected transient write failures (site ``checkpoint_store``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.fuzzer.crash import TriagedCrash, categorize_description
+from repro.fuzzer.loop import FuzzLoop, FuzzObservation, FuzzStats
+from repro.kernel.coverage import Coverage
+from repro.syzlang.parser import parse_program, serialize_program
+
+__all__ = [
+    "CheckpointStore",
+    "load_checkpoint",
+    "loop_state",
+    "restore_loop_state",
+    "save_checkpoint",
+]
+
+_FORMAT_VERSION = 1
+
+# Transient checkpoint-store write failures retried before giving up.
+_WRITE_ATTEMPTS = 5
+
+_STATS_COUNTERS = (
+    "executions", "corpus_size", "exec_timeouts", "vm_restarts",
+    "inference_failures", "heuristic_fallbacks", "corpus_write_retries",
+    "breaker_trips", "resumes",
+)
+
+
+# ----- capture -----
+
+
+def loop_state(loop: FuzzLoop) -> dict:
+    """Snapshot a (possibly mid-run) fuzz loop as JSON-serializable state."""
+    state = {
+        "format_version": _FORMAT_VERSION,
+        "kernel_version": loop.kernel.version,
+        "clock": {
+            "now": loop.clock.now,
+            "horizon": loop.clock.horizon,
+            "charges": dict(loop.clock.charges),
+        },
+        "last_sample": loop._last_sample,
+        "rng": {
+            "loop": loop.rng.bit_generator.state,
+            "engine": loop.engine.rng.bit_generator.state,
+            "generator": loop.engine.generator.rng.bit_generator.state,
+            "executor": loop.executor._rng.bit_generator.state,
+        },
+        "executor": {"vm_restarts": loop.executor.vm_restarts},
+        "corpus": [
+            {
+                "program": serialize_program(entry.program),
+                "traces": [list(trace) for trace in entry.coverage.call_traces],
+                "signal": entry.signal,
+                "picked": entry.picked,
+                "hints": sorted(entry.hints),
+            }
+            for entry in loop.corpus.entries
+        ],
+        "accumulated": {
+            "blocks": sorted(loop.accumulated.blocks),
+            "edges": sorted(list(edge) for edge in loop.accumulated.edges),
+        },
+        "stats": _stats_state(loop.stats),
+        "injector": (
+            loop.injector.state() if loop.injector is not None else None
+        ),
+    }
+    service = getattr(loop, "service", None)
+    if service is not None:
+        # Snowplow extras.  Pending bursts are dropped along with the
+        # in-flight inference that would have produced more of them.
+        state["service"] = service.state_dict()
+        state["burst_yield"] = loop._burst_yield
+    return state
+
+
+def _stats_state(stats: FuzzStats) -> dict:
+    state = {key: getattr(stats, key) for key in _STATS_COUNTERS}
+    state["breaker_state"] = stats.breaker_state
+    state["mutations"] = dict(stats.mutations)
+    state["observations"] = [
+        [obs.time, obs.edges, obs.blocks, obs.executions]
+        for obs in stats.observations
+    ]
+    state["crashes"] = [
+        {
+            "signature": crash.signature,
+            "is_new": crash.is_new,
+            "bug_id": crash.bug_id,
+            "program": serialize_program(crash.crashing_program),
+            "reproducer": (
+                serialize_program(crash.reproducer)
+                if crash.reproducer is not None else None
+            ),
+        }
+        for crash in stats.crashes
+    ]
+    return state
+
+
+# ----- restore -----
+
+
+def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
+    """Restore ``state`` onto a freshly built loop.
+
+    The loop must have been constructed with the same seeds and config
+    as the checkpointed one (the campaign harness rebuilds it the same
+    way it built the original); this function then overwrites every
+    piece of mutable state so the continuation is bit-identical.
+    """
+    if state.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {state.get('format_version')!r}"
+        )
+    if state.get("kernel_version") != loop.kernel.version:
+        raise CheckpointError(
+            f"checkpoint is for kernel {state.get('kernel_version')!r}, "
+            f"loop runs {loop.kernel.version!r}"
+        )
+    clock = state["clock"]
+    loop.clock.now = float(clock["now"])
+    loop.clock.horizon = float(clock["horizon"])
+    loop.clock.charges = {
+        str(key): float(value) for key, value in clock["charges"].items()
+    }
+    loop._last_sample = float(state["last_sample"])
+    rng = state["rng"]
+    loop.rng.bit_generator.state = rng["loop"]
+    loop.engine.rng.bit_generator.state = rng["engine"]
+    loop.engine.generator.rng.bit_generator.state = rng["generator"]
+    loop.executor._rng.bit_generator.state = rng["executor"]
+    loop.executor.vm_restarts = int(state["executor"]["vm_restarts"])
+    loop.corpus.entries.clear()
+    for entry_state in state["corpus"]:
+        entry = loop.corpus.add(
+            parse_program(entry_state["program"], loop.kernel.table),
+            Coverage.from_traces(entry_state["traces"]),
+            signal=int(entry_state["signal"]),
+            hints=frozenset(entry_state["hints"]),
+        )
+        entry.picked = int(entry_state["picked"])
+    loop.accumulated = Coverage(
+        blocks=set(state["accumulated"]["blocks"]),
+        edges={tuple(edge) for edge in state["accumulated"]["edges"]},
+    )
+    loop.stats = _restore_stats(loop, state["stats"])
+    loop.stats.resumes += 1
+    # The triage ledger must match the restored crash list or resumed
+    # runs would double-count (or re-suppress) crashes.
+    loop.triage._seen = {
+        crash.signature: crash for crash in loop.stats.crashes
+    }
+    if state.get("injector") is not None and loop.injector is not None:
+        loop.injector.restore(state["injector"])
+    service = getattr(loop, "service", None)
+    if service is not None and "service" in state:
+        lost = service.restore(state["service"])
+        # In-flight predictions died with the worker.
+        loop.stats.inference_failures += lost
+        loop._burst_yield = float(state["burst_yield"])
+        loop._bursts.clear()
+        loop._active_burst = None
+
+
+def _restore_stats(loop: FuzzLoop, state: dict) -> FuzzStats:
+    stats = FuzzStats()
+    for key in _STATS_COUNTERS:
+        setattr(stats, key, int(state[key]))
+    stats.breaker_state = str(state["breaker_state"])
+    stats.mutations = {
+        str(key): int(value) for key, value in state["mutations"].items()
+    }
+    stats.observations = [
+        FuzzObservation(
+            time=float(time), edges=int(edges), blocks=int(blocks),
+            executions=int(executions),
+        )
+        for time, edges, blocks, executions in state["observations"]
+    ]
+    for crash_state in state["crashes"]:
+        signature = str(crash_state["signature"])
+        reproducer = crash_state["reproducer"]
+        stats.crashes.append(
+            TriagedCrash(
+                signature=signature,
+                category=categorize_description(signature),
+                is_new=bool(crash_state["is_new"]),
+                crashing_program=parse_program(
+                    crash_state["program"], loop.kernel.table
+                ),
+                reproducer=(
+                    parse_program(reproducer, loop.kernel.table)
+                    if reproducer is not None else None
+                ),
+                bug_id=str(crash_state["bug_id"]),
+            )
+        )
+    return stats
+
+
+# ----- durable storage -----
+
+
+def save_checkpoint(path: str | Path, state: dict) -> Path:
+    """Write ``state`` to ``path`` with an integrity digest."""
+    path = Path(path)
+    body = json.dumps(state, sort_keys=True)
+    envelope = {
+        "format_version": _FORMAT_VERSION,
+        "digest": hashlib.blake2b(body.encode()).hexdigest(),
+        "state": state,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(envelope))
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Load and verify a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        envelope = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {error}")
+    if envelope.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version "
+            f"{envelope.get('format_version')!r}"
+        )
+    state = envelope.get("state")
+    if state is None:
+        raise CheckpointError(f"checkpoint {path} has no state")
+    body = json.dumps(state, sort_keys=True)
+    if hashlib.blake2b(body.encode()).hexdigest() != envelope.get("digest"):
+        raise CheckpointError(f"checkpoint {path} failed its digest check")
+    return state
+
+
+class CheckpointStore:
+    """Periodic checkpoint directory with retention and flaky-disk retry.
+
+    Writes go through the fault injector's ``checkpoint_store`` site:
+    transient failures are retried up to a bound, then
+    :class:`~repro.errors.CheckpointError` propagates (a campaign that
+    cannot persist state must say so, not limp on unprotected).
+    """
+
+    def __init__(self, directory: str | Path, injector=None, keep: int = 2):
+        if keep < 1:
+            raise CheckpointError(f"must keep at least one checkpoint, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.injector = injector
+        self.keep = keep
+
+    def save(self, state: dict) -> Path:
+        now = float(state["clock"]["now"])
+        if self.injector is not None:
+            attempts = 0
+            while self.injector.fires("checkpoint_store", now):
+                attempts += 1
+                if attempts >= _WRITE_ATTEMPTS:
+                    raise CheckpointError(
+                        f"checkpoint write failed {attempts} times at "
+                        f"virtual t={now:.0f}"
+                    )
+        path = self.directory / f"ckpt_{int(now):012d}.json"
+        save_checkpoint(path, state)
+        self._prune()
+        return path
+
+    def load_latest(self) -> dict:
+        latest = self._existing()
+        if not latest:
+            raise CheckpointError(f"no checkpoints under {self.directory}")
+        return load_checkpoint(latest[-1])
+
+    def _existing(self) -> list[Path]:
+        return sorted(self.directory.glob("ckpt_*.json"))
+
+    def _prune(self) -> None:
+        for stale in self._existing()[: -self.keep]:
+            stale.unlink()

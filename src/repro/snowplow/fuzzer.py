@@ -19,9 +19,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults import CircuitBreaker
 from repro.fuzzer.corpus import CorpusEntry
 from repro.fuzzer.engine import MutationEngine, MutationOutcome, TypeSelector
-from repro.fuzzer.loop import FuzzLoop
+from repro.fuzzer.loop import FuzzLoop, FuzzStats
 from repro.graphs.build import build_query_graph
 from repro.graphs.encode import GraphEncoder
 from repro.kernel.build import Kernel
@@ -67,6 +68,17 @@ class SnowplowConfig:
     # paper's 57 q/s at 0.69 s latency (machine_infer, 8 L4 GPUs).
     servers: int = 40
     max_queue: int = 128
+    # --- resilience (§3.4's degradation story, under fault injection) ---
+    # Per-request deadline and first-retry backoff, as multiples of the
+    # inference latency; retries double the backoff each attempt.
+    request_deadline_factor: float = 2.0
+    retry_backoff_factor: float = 0.5
+    max_retries: int = 2
+    # Circuit breaker: consecutive delivery failures before the serving
+    # tier is declared down, and how long (in latencies) to wait before
+    # the half-open probe.
+    breaker_failure_threshold: int = 4
+    breaker_reset_factor: float = 4.0
 
 
 class PMMLocalizer:
@@ -156,11 +168,20 @@ class SnowplowLoop(FuzzLoop):
         self.pmm_localizer = localizer
         self.snowplow_config = snowplow_config or SnowplowConfig()
         cfg = self.snowplow_config
+        latency = self.cost.inference_latency
         self.service = InferenceService(
             predict_fn=self._predict,
-            latency=self.cost.inference_latency,
+            latency=latency,
             servers=cfg.servers,
             max_queue=cfg.max_queue,
+            deadline=cfg.request_deadline_factor * latency,
+            max_retries=cfg.max_retries,
+            retry_backoff=cfg.retry_backoff_factor * latency,
+            injector=self.injector,
+            breaker=CircuitBreaker(
+                failure_threshold=cfg.breaker_failure_threshold,
+                reset_timeout=cfg.breaker_reset_factor * latency,
+            ),
         )
         self._bursts: deque[_Burst] = deque()
         # Recent burst productivity (EMA of "this burst mutation found
@@ -213,7 +234,12 @@ class SnowplowLoop(FuzzLoop):
         if self.cost.inference_charge:
             # Blocking-inference ablation: the loop pays the latency.
             self.clock.advance(self.cost.inference_charge, "inference")
-        for query, paths in self.service.poll(self.clock.now):
+        completed = self.service.poll(self.clock.now)
+        # Requests lost to injected timeouts/slot crashes never burst;
+        # the fuzzer simply keeps its heuristics flowing (§3.4), but the
+        # losses are accounted so degraded runs are measurable.
+        self.stats.inference_failures += len(self.service.drain_failures())
+        for query, paths in completed:
             program, _, targets, hints = query
             if paths:
                 cfg = self.snowplow_config
@@ -305,10 +331,21 @@ class SnowplowLoop(FuzzLoop):
         hints: frozenset[int] = frozenset(),
     ) -> None:
         targets = self._query_targets(coverage)
-        if targets is not None:
-            self.service.submit(
-                (program.clone(), coverage, targets, hints), self.clock.now
-            )
+        if targets is None:
+            return
+        ready = self.service.submit(
+            (program.clone(), coverage, targets, hints), self.clock.now
+        )
+        if ready is None:
+            # Queue full or breaker open: this query's localization is
+            # served by the heuristic SyzkallerLocalizer instead.
+            self.stats.heuristic_fallbacks += 1
+
+    def finalize(self) -> FuzzStats:
+        stats = super().finalize()
+        stats.breaker_trips = self.service.stats.breaker_trips
+        stats.breaker_state = self.service.stats.breaker_state
+        return stats
 
     def on_new_coverage(self, entry, outcome, coverage) -> None:
         """Chain climbing (§3.4): a test that just crossed one branch is

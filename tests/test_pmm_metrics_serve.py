@@ -1,10 +1,12 @@
-"""Tests for selector metrics and the inference-serving simulation."""
+"""Tests for selector metrics and the inference-serving simulation,
+including its degraded modes (deadlines, retries, circuit breaking)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ModelError
+from repro.errors import InferenceTimeout, ModelError
+from repro.faults import CircuitBreaker, FaultInjector, FaultPlan
 from repro.pmm.metrics import evaluate_selector, score_sets
 from repro.pmm.serve import InferenceService
 
@@ -128,3 +130,155 @@ class TestInferenceService:
         service.submit(41, now=0.0)
         ((query, prediction),) = service.poll(2.0)
         assert (query, prediction) == (41, 42)
+
+    def test_queue_full_counts_rejected(self):
+        service = InferenceService(
+            lambda q: q, latency=5.0, servers=1, max_queue=1
+        )
+        service.submit("a", now=0.0)
+        assert service.submit("b", now=0.0) is None
+        assert service.stats.rejected == 1
+        assert service.stats.submitted == 1
+
+    def test_mean_queue_delay(self):
+        service = InferenceService(lambda q: q, latency=5.0, servers=1)
+        service.submit("a", now=0.0)  # starts immediately
+        service.submit("b", now=0.0)  # waits 5.0 behind the single slot
+        assert service.stats.mean_queue_delay == pytest.approx(2.5)
+
+    def test_prediction_deferred_until_poll(self):
+        calls = []
+        service = InferenceService(
+            lambda q: calls.append(q) or q, latency=1.0
+        )
+        service.submit("x", now=0.0)
+        assert calls == []  # submission must not evaluate
+        service.poll(0.5)
+        assert calls == []  # not ready yet
+        service.poll(1.0)
+        assert calls == ["x"]
+
+
+class TestDegradedService:
+    """Fault-injected serving: the §5.5 replicas time out and crash."""
+
+    @staticmethod
+    def _outage(start=0.0, end=1e9):
+        return FaultInjector(FaultPlan().with_window("inference", start, end))
+
+    def test_lost_request_never_computes(self):
+        calls = []
+        service = InferenceService(
+            lambda q: calls.append(q) or q, latency=1.0,
+            deadline=2.0, injector=self._outage(),
+        )
+        service.submit("x", now=0.0)
+        assert service.poll(100.0) == []
+        assert calls == []  # the discarded prediction was never paid for
+        assert service.stats.timeouts == 1
+        assert service.drain_failures() == [("x", "timeout")]
+        assert service.drain_failures() == []  # drained once
+
+    def test_retries_with_exponential_backoff(self):
+        service = InferenceService(
+            lambda q: q, latency=1.0, deadline=2.0, max_retries=2,
+            retry_backoff=1.0,
+            injector=self._outage(end=4.0),
+        )
+        # Attempt 1 at t=0 fails (detected t=2), retry at t=3 fails
+        # (detected t=5? no — window ends at 4, attempt 2 starts at
+        # 2+1=3, still inside, detected 5), attempt 3 at 5+2=7 is past
+        # the outage and succeeds at 8.
+        ready = service.submit("q", now=0.0)
+        assert ready == pytest.approx(8.0)
+        assert service.stats.retries == 2
+        assert service.poll(8.0) == [("q", "q")]
+        assert service.stats.completed == 1
+        assert service.stats.failures == 0
+
+    def test_exhausted_retries_fail(self):
+        service = InferenceService(
+            lambda q: q, latency=1.0, deadline=2.0, max_retries=1,
+            retry_backoff=1.0, injector=self._outage(),
+        )
+        service.submit("q", now=0.0)
+        service.poll(1e6)
+        assert service.stats.failures == 1
+        assert service.stats.retries == 1
+
+    def test_slot_crashes_counted_separately(self):
+        injector = FaultInjector(
+            FaultPlan().with_window("server_slot", 0.0, 1e9)
+        )
+        service = InferenceService(
+            lambda q: q, latency=1.0, injector=injector
+        )
+        service.submit("q", now=0.0)
+        service.poll(1e6)
+        assert service.stats.slot_crashes == 1
+        assert service.stats.timeouts == 0
+
+    def test_strict_mode_raises(self):
+        service = InferenceService(
+            lambda q: q, latency=1.0, deadline=1.0,
+            injector=self._outage(), strict=True,
+        )
+        service.submit("q", now=0.0)
+        with pytest.raises(InferenceTimeout):
+            service.poll(1e6)
+
+    def test_breaker_opens_and_rejects(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1000.0)
+        service = InferenceService(
+            lambda q: q, latency=1.0, deadline=1.0,
+            injector=self._outage(), breaker=breaker,
+        )
+        service.submit("a", now=0.0)
+        service.submit("b", now=0.0)
+        service.poll(10.0)  # both failures observed: breaker trips
+        assert service.stats.breaker_state == "open"
+        assert service.stats.breaker_trips == 1
+        assert service.submit("c", now=20.0) is None
+        assert service.stats.breaker_rejections == 1
+
+    def test_breaker_recovers_through_half_open_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=50.0)
+        service = InferenceService(
+            lambda q: q, latency=1.0, deadline=1.0,
+            injector=self._outage(end=10.0), breaker=breaker,
+        )
+        service.submit("a", now=0.0)
+        service.poll(10.0)
+        assert service.stats.breaker_state == "open"
+        assert service.submit("b", now=20.0) is None  # still open
+        probe = service.submit("c", now=60.0)  # half-open probe admitted
+        assert probe is not None
+        service.poll(probe)
+        assert service.stats.breaker_state == "closed"
+        assert service.stats.completed == 1
+
+    def test_fault_free_service_identical_to_plain(self):
+        """An attached but empty plan must not change scheduling."""
+        plain = InferenceService(lambda q: q, latency=2.0, servers=2)
+        injected = InferenceService(
+            lambda q: q, latency=2.0, servers=2, deadline=4.0,
+            max_retries=2, injector=FaultInjector(FaultPlan.none()),
+        )
+        for service in (plain, injected):
+            service.submit("a", now=0.0)
+            service.submit("b", now=1.0)
+        assert plain.poll(10.0) == injected.poll(10.0)
+        assert plain.stats.mean_latency == injected.stats.mean_latency
+
+    def test_state_roundtrip_drops_pending(self):
+        service = InferenceService(lambda q: q, latency=2.0, servers=1)
+        service.submit("a", now=0.0)
+        service.submit("b", now=0.0)
+        state = service.state_dict()
+        clone = InferenceService(lambda q: q, latency=2.0, servers=1)
+        lost = clone.restore(state)
+        assert lost == 2
+        assert clone.pending_count() == 0
+        assert clone.stats.submitted == 2
+        # The restored slot schedule carries over.
+        assert clone.submit("c", now=0.0) == service.submit("c", now=0.0)
