@@ -1,0 +1,109 @@
+"""Cluster bench: coverage vs fleet size, and the batching win.
+
+Two acceptance experiments for `repro.cluster`:
+
+- the scaling sweep must show a 4-worker fleet reaching strictly more
+  fleet-union coverage than a single worker at the same per-worker
+  virtual budget (the hub actually pools progress);
+- the dynamically batched serving tier must complete more requests than
+  an unbatched service with the same single-request latency and slot
+  count under saturating load (batching actually raises throughput
+  above ``servers / latency``).
+
+Runs on a small kernel with the oracle localizer so the CI smoke job
+can afford it; the shapes, not the absolute numbers, are the claims.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.cluster import ClusterConfig
+from repro.kernel import build_kernel
+from repro.pmm.serve import BatchingInferenceService, InferenceService
+from repro.snowplow import CampaignConfig, format_scaling, run_scaling_campaign
+
+HORIZON = 2400.0
+
+
+@pytest.fixture(scope="module")
+def small_kernel():
+    return build_kernel("6.8", seed=1, size="small")
+
+
+def test_bench_cluster_scaling(benchmark, small_kernel):
+    config = CampaignConfig(
+        horizon=HORIZON, runs=1, seed=11, seed_corpus_size=12,
+        sample_interval=300.0,
+    )
+
+    def run():
+        return run_scaling_campaign(
+            small_kernel, None, config, worker_counts=(1, 2, 4),
+            cluster_config=ClusterConfig(workers=4, sync_interval=300.0),
+            oracle=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    edges = result.final_edges()
+    # The acceptance claim: fleet width buys coverage at equal
+    # per-worker budget.
+    assert edges[4] > edges[1]
+    assert edges[2] > edges[1]
+    write_result("cluster_scaling.txt", format_scaling(result))
+
+
+def test_bench_batching_throughput(benchmark):
+    latency = 10.0
+    servers = 4
+
+    def saturate(service):
+        """Closed-loop load: keep the queue topped up, count completions
+        over a fixed virtual window."""
+        done = 0
+        step = 0
+        for tick in range(2000):
+            now = tick * 0.5
+            while service.pending_count() < 24:
+                service.submit(f"q{step}", now)
+                step += 1
+            done += len(service.poll(now))
+        return done
+
+    def run():
+        batched = BatchingInferenceService(
+            predict_fn=lambda q: q,
+            base_latency=0.75 * latency,
+            marginal_latency=0.25 * latency,
+            max_batch_size=8,
+            batch_timeout=0.25 * latency,
+            servers=servers,
+        )
+        plain = InferenceService(
+            lambda q: q, latency=latency, servers=servers
+        )
+        assert batched.latency_of(1) == latency
+        return saturate(batched), saturate(plain), batched, plain
+
+    batched_done, plain_done, batched, plain = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # The structural claim and the measured one, both strictly.
+    assert batched.saturation_throughput > plain.saturation_throughput
+    assert batched_done > plain_done
+    window = 2000 * 0.5
+    write_result(
+        "cluster_batching_throughput.txt",
+        "\n".join([
+            "Dynamic batching vs unbatched serving "
+            f"({servers} slots, single-request latency {latency:.0f}s, "
+            f"{window:.0f} virtual s of saturating load)",
+            f"  unbatched: {plain_done} completed "
+            f"({plain_done / window:.2f}/s; theoretical cap "
+            f"{plain.saturation_throughput:.2f}/s)",
+            f"  batched:   {batched_done} completed "
+            f"({batched_done / window:.2f}/s; theoretical cap "
+            f"{batched.saturation_throughput:.2f}/s, "
+            f"mean batch {batched.stats.mean_batch_size:.2f})",
+            f"  speedup:   {batched_done / max(plain_done, 1):.2f}x",
+        ]),
+    )

@@ -6,6 +6,8 @@ Subcommands mirror the Snowplow workflow::
     python -m repro.cli train --kernel 6.8 --out pmm.npz
     python -m repro.cli fuzz --kernel 6.8 --model pmm.npz --hours 2
     python -m repro.cli fuzz --kernel 6.9 --baseline --hours 2
+    python -m repro.cli fuzz --kernel 6.8 --model pmm.npz --workers 4
+    python -m repro.cli cluster --kernel 6.8 --oracle --worker-counts 1,2,4
     python -m repro.cli triage --kernel 6.8 --prog crash.syz
     python -m repro.cli exec --kernel 6.8 --prog test.syz
 """
@@ -19,7 +21,15 @@ from repro.kernel import Executor, build_kernel
 from repro.pmm import DatasetConfig, PMMConfig, TrainConfig
 from repro.pmm.checkpoint import load_pmm, save_pmm
 from repro.rng import derive_seed, split
-from repro.snowplow import CampaignConfig, train_pmm
+from repro.cluster import ClusterConfig
+from repro.snowplow import (
+    CampaignConfig,
+    SnowplowConfig,
+    build_cluster,
+    format_scaling,
+    run_scaling_campaign,
+    train_pmm,
+)
 from repro.snowplow.campaign import (
     TrainedPMM,
     _build_snowplow_loop,
@@ -72,30 +82,81 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_fuzz(args) -> int:
-    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
-    config = CampaignConfig(
+def _load_trained(args, kernel) -> TrainedPMM | None:
+    """A TrainedPMM from --model, or None for --baseline/--oracle."""
+    if args.baseline or getattr(args, "oracle", False):
+        return None
+    if not args.model:
+        print("--model is required unless --baseline or --oracle is given",
+              file=sys.stderr)
+        return None
+    model, vocab, encoder = load_pmm(args.model, kernel.table)
+    return TrainedPMM(
+        model=model, encoder=encoder, vocab=vocab,
+        dataset=None, validation=None,
+    )
+
+
+def _fuzz_config(args, batch_size: int | None = None) -> CampaignConfig:
+    snowplow = SnowplowConfig()
+    if batch_size is not None:
+        snowplow.max_batch_size = batch_size
+    return CampaignConfig(
         horizon=args.hours * 3600.0,
         runs=1,
         seed=args.seed,
         seed_corpus_size=args.seed_corpus,
         sample_interval=max(args.hours * 3600.0 / 16.0, 60.0),
+        snowplow=snowplow,
     )
+
+
+def _cmd_fuzz(args) -> int:
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    config = _fuzz_config(args, batch_size=args.batch_size)
     run_seed = derive_seed(args.seed, "cli-fuzz", kernel.version)
+    oracle = args.oracle
+    trained = _load_trained(args, kernel)
+    if trained is None and not (args.baseline or oracle):
+        return 2
+    if args.workers > 1:
+        cluster = build_cluster(
+            kernel, trained, run_seed, config,
+            cluster_config=ClusterConfig(workers=args.workers),
+            baseline=args.baseline, oracle=oracle,
+        )
+        result = cluster.run()
+        stats = result.merged
+        label = "syzkaller" if args.baseline else "snowplow"
+        print(f"[{label} x{args.workers}] {args.hours:.1f} virtual hours on "
+              f"{kernel.version}: {result.final_edges} fleet edges, "
+              f"{result.final_blocks} blocks, {stats.executions} executions, "
+              f"hub {result.hub_stats.accepted} entries "
+              f"({result.hub_stats.duplicates} duplicates)")
+        for worker_id, worker_stats in enumerate(result.worker_stats):
+            print(f"  worker {worker_id}: {worker_stats.final_edges} edges, "
+                  f"{worker_stats.executions} executions, "
+                  f"pushed {worker_stats.hub_pushed}, "
+                  f"pulled {worker_stats.hub_pulled}")
+        if result.service_stats is not None:
+            service = result.service_stats
+            print(f"  inference: {service.completed} completed, "
+                  f"mean batch {service.mean_batch_size:.2f}, "
+                  f"p95 queue delay {service.p95_queue_delay:.0f}s")
+        for crash in stats.crashes:
+            tag = "NEW" if crash.is_new else "known"
+            print(f"  crash [{tag}] {crash.signature}")
+        return 0
     if args.baseline:
         loop = _build_syzkaller_loop(kernel, run_seed, config)
         label = "syzkaller"
     else:
-        if not args.model:
-            print("--model is required unless --baseline is given",
-                  file=sys.stderr)
-            return 2
-        model, vocab, encoder = load_pmm(args.model, kernel.table)
-        trained = TrainedPMM(
-            model=model, encoder=encoder, vocab=vocab,
-            dataset=None, validation=None,
+        loop = _build_snowplow_loop(
+            kernel, trained, run_seed, config, oracle=oracle
         )
-        loop = _build_snowplow_loop(kernel, trained, run_seed, config)
         label = "snowplow"
     seeds = ProgramGenerator(
         kernel.table, split(run_seed, "seed-corpus")
@@ -111,6 +172,35 @@ def _cmd_fuzz(args) -> int:
     for crash in stats.crashes:
         tag = "NEW" if crash.is_new else "known"
         print(f"  crash [{tag}] {crash.signature}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    try:
+        counts = tuple(
+            int(piece) for piece in args.worker_counts.split(",") if piece
+        )
+    except ValueError:
+        print(f"bad --worker-counts {args.worker_counts!r}", file=sys.stderr)
+        return 2
+    if not counts or any(count < 1 for count in counts):
+        print(f"bad --worker-counts {args.worker_counts!r}", file=sys.stderr)
+        return 2
+    config = _fuzz_config(args, batch_size=args.batch_size)
+    oracle = args.oracle
+    trained = _load_trained(args, kernel)
+    if trained is None and not (args.baseline or oracle):
+        return 2
+    result = run_scaling_campaign(
+        kernel, trained, config,
+        worker_counts=counts,
+        cluster_config=ClusterConfig(
+            workers=max(counts), sync_interval=args.sync_interval
+        ),
+        baseline=args.baseline, oracle=oracle,
+    )
+    print(format_scaling(result))
     return 0
 
 
@@ -182,11 +272,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", help="PMM checkpoint (Snowplow mode)")
     p.add_argument("--baseline", action="store_true",
                    help="run plain Syzkaller instead of Snowplow")
+    p.add_argument("--oracle", action="store_true",
+                   help="use the white-box oracle localizer (no model)")
     p.add_argument("--hours", type=float, default=1.0,
                    help="virtual hours to fuzz")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--seed-corpus", type=int, default=100)
+    p.add_argument("--workers", type=int, default=1,
+                   help="fleet size; >1 runs a hub-synced cluster")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="serving-tier max batch size (1 disables batching)")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser("cluster", help="run the fleet-size scaling sweep")
+    _add_kernel_args(p)
+    p.add_argument("--model", help="PMM checkpoint (Snowplow mode)")
+    p.add_argument("--baseline", action="store_true",
+                   help="sweep plain Syzkaller fleets instead of Snowplow")
+    p.add_argument("--oracle", action="store_true",
+                   help="use the white-box oracle localizer (no model)")
+    p.add_argument("--hours", type=float, default=1.0,
+                   help="virtual hours per worker")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed-corpus", type=int, default=100)
+    p.add_argument("--worker-counts", default="1,2,4,8",
+                   help="comma-separated fleet sizes to sweep")
+    p.add_argument("--sync-interval", type=float, default=600.0,
+                   help="virtual seconds between hub syncs")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="serving-tier max batch size (1 disables batching)")
+    p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("exec", help="execute a syz-format program")
     _add_kernel_args(p)

@@ -1,0 +1,31 @@
+"""repro.cluster: a deterministic multi-worker fuzzing cluster.
+
+The paper runs Snowplow as a fleet: many fuzzing VMs sharing a corpus
+(via a syz-hub analogue) and a central batched GPU serving tier (§3.4,
+§5.5).  This package reproduces that topology over virtual time —
+bit-reproducibly, so scaling experiments and checkpoint/resume stay
+exact science rather than wall-clock accidents.
+"""
+
+from repro.cluster.hub import CorpusHub, HubEntry, HubStats
+from repro.cluster.scheduler import (
+    ClusterConfig,
+    ClusterFuzzer,
+    ClusterResult,
+    ClusterScheduler,
+    ClusterWorker,
+)
+from repro.cluster.serving import SharedInferenceTier, WorkerServiceView
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterFuzzer",
+    "ClusterResult",
+    "ClusterScheduler",
+    "ClusterWorker",
+    "CorpusHub",
+    "HubEntry",
+    "HubStats",
+    "SharedInferenceTier",
+    "WorkerServiceView",
+]

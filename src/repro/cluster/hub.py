@@ -1,0 +1,192 @@
+"""The corpus hub: a syz-hub analogue for multi-worker campaigns.
+
+Real Syzkaller fleets share progress through syz-hub: every manager
+periodically connects, uploads the corpus entries it found since its
+last visit, and downloads what the rest of the fleet found meanwhile.
+:class:`CorpusHub` reproduces that protocol over virtual time.  Pushes
+dedup by **coverage signature** (the entry's edge set frozen as an
+identity) and by marginal value (an entry whose edges the hub already
+holds in union is a duplicate even under a novel signature), so the hub
+corpus stays minimal no matter how many workers rediscover the same
+behaviour.  Pulls are incremental: each worker remembers the hub epoch
+of its last sync and receives only entries accepted after it, excluding
+its own uploads.
+
+The hub also keeps the fleet-wide coverage union and a timeline of when
+that union grew — the cluster-level coverage-over-time curve that
+scaling campaigns report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fuzzer.loop import FuzzObservation
+from repro.kernel.coverage import Coverage
+from repro.syzlang.parser import parse_program, serialize_program
+from repro.syzlang.program import Program
+
+__all__ = ["CorpusHub", "HubEntry", "HubStats"]
+
+
+@dataclass
+class HubEntry:
+    """One corpus entry as the hub stores it."""
+
+    program: Program
+    coverage: Coverage
+    signal: int
+    hints: frozenset[int]
+    # Worker that uploaded the entry; pulls never echo a worker's own
+    # uploads back at it.
+    origin: int
+    # Hub epoch at acceptance; pulls are incremental on this.
+    epoch: int
+
+
+@dataclass
+class HubStats:
+    """Hub-side sync accounting."""
+
+    pushes: int = 0
+    accepted: int = 0
+    duplicates: int = 0
+    pulls: int = 0
+    pulled_entries: int = 0
+
+
+class CorpusHub:
+    """Central corpus exchange with signature dedup and sync epochs."""
+
+    def __init__(self):
+        self.entries: list[HubEntry] = []
+        self.coverage = Coverage()
+        self.epoch = 0
+        self.stats = HubStats()
+        # Fleet-union coverage growth, stamped at push time.
+        self.timeline: list[FuzzObservation] = []
+        self._signatures: set[frozenset] = set()
+
+    # ----- the sync protocol -----
+
+    def push(self, worker_id: int, entries, now: float) -> int:
+        """Offer corpus entries; returns how many the hub accepted.
+
+        ``entries`` is any iterable of corpus-entry-like objects
+        (``program``/``coverage``/``signal``/``hints``).  An entry is a
+        duplicate if its coverage signature was seen before or if it
+        adds no edge to the hub union.
+        """
+        accepted = 0
+        for entry in entries:
+            self.stats.pushes += 1
+            signature = frozenset(entry.coverage.edges)
+            if (
+                signature in self._signatures
+                or not entry.coverage.new_edges(self.coverage)
+            ):
+                self.stats.duplicates += 1
+                continue
+            self._signatures.add(signature)
+            self.epoch += 1
+            self.entries.append(
+                HubEntry(
+                    program=entry.program.clone(),
+                    coverage=entry.coverage.copy(),
+                    signal=entry.signal,
+                    hints=frozenset(entry.hints),
+                    origin=worker_id,
+                    epoch=self.epoch,
+                )
+            )
+            self.coverage.merge(entry.coverage)
+            self.timeline.append(
+                FuzzObservation(
+                    time=now,
+                    edges=len(self.coverage.edges),
+                    blocks=len(self.coverage.blocks),
+                    executions=0,
+                )
+            )
+            accepted += 1
+            self.stats.accepted += 1
+        return accepted
+
+    def pull(
+        self, worker_id: int, since_epoch: int
+    ) -> tuple[list[HubEntry], int]:
+        """Entries accepted after ``since_epoch`` from other workers,
+        plus the hub epoch to remember for the next sync."""
+        self.stats.pulls += 1
+        pulled = [
+            entry
+            for entry in self.entries
+            if entry.epoch > since_epoch and entry.origin != worker_id
+        ]
+        self.stats.pulled_entries += len(pulled)
+        return pulled, self.epoch
+
+    # ----- checkpointing -----
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (coverage/signatures rebuild on
+        restore from the per-entry traces)."""
+        return {
+            "epoch": self.epoch,
+            "entries": [
+                {
+                    "program": serialize_program(entry.program),
+                    "traces": [
+                        list(trace) for trace in entry.coverage.call_traces
+                    ],
+                    "signal": entry.signal,
+                    "hints": sorted(entry.hints),
+                    "origin": entry.origin,
+                    "epoch": entry.epoch,
+                }
+                for entry in self.entries
+            ],
+            "timeline": [
+                [obs.time, obs.edges, obs.blocks, obs.executions]
+                for obs in self.timeline
+            ],
+            "stats": {
+                "pushes": self.stats.pushes,
+                "accepted": self.stats.accepted,
+                "duplicates": self.stats.duplicates,
+                "pulls": self.stats.pulls,
+                "pulled_entries": self.stats.pulled_entries,
+            },
+        }
+
+    def restore(self, state: dict, table) -> None:
+        """Rebuild the hub from :meth:`state_dict` output against the
+        kernel's syscall ``table``."""
+        self.entries.clear()
+        self.coverage = Coverage()
+        self._signatures.clear()
+        self.epoch = int(state["epoch"])
+        for entry_state in state["entries"]:
+            coverage = Coverage.from_traces(entry_state["traces"])
+            self.entries.append(
+                HubEntry(
+                    program=parse_program(entry_state["program"], table),
+                    coverage=coverage,
+                    signal=int(entry_state["signal"]),
+                    hints=frozenset(entry_state["hints"]),
+                    origin=int(entry_state["origin"]),
+                    epoch=int(entry_state["epoch"]),
+                )
+            )
+            self._signatures.add(frozenset(coverage.edges))
+            self.coverage.merge(coverage)
+        self.timeline = [
+            FuzzObservation(
+                time=float(time), edges=int(edges), blocks=int(blocks),
+                executions=int(executions),
+            )
+            for time, edges, blocks, executions in state["timeline"]
+        ]
+        self.stats = HubStats(
+            **{key: int(value) for key, value in state["stats"].items()}
+        )

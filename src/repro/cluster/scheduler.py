@@ -1,0 +1,223 @@
+"""Deterministic discrete-event scheduling of a fuzzing fleet.
+
+Every worker owns a :class:`~repro.vclock.VirtualClock`; the scheduler
+interleaves them by always stepping the worker whose clock is furthest
+behind, breaking ties by worker id.  Because each step advances the
+stepped worker's clock by the virtual cost of what it simulated, the
+interleaving — and therefore every shared-state interaction (corpus-hub
+syncs, shared serving-tier submissions) — is a pure function of the
+campaign seed.  That is what makes N-worker cluster runs bit-reproducible
+and checkpoint/resume exact.
+
+Workers sync against the :class:`~repro.cluster.hub.CorpusHub` on a
+fixed virtual cadence, paying ``CostModel.hub_sync`` per round-trip, so
+corpus sharing has a cost and a propagation lag like the real syz-hub.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.fuzzer.loop import FuzzLoop, FuzzObservation, FuzzStats
+
+from .hub import CorpusHub, HubStats
+from .serving import SharedInferenceTier
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterFuzzer",
+    "ClusterResult",
+    "ClusterScheduler",
+    "ClusterWorker",
+]
+
+
+@dataclass
+class ClusterConfig:
+    """Fleet-shape knobs of a cluster campaign."""
+
+    workers: int = 4
+    # Virtual seconds between a worker's hub syncs (10 virtual minutes
+    # under the scaled cost model — syz-hub managers poll on the order
+    # of minutes, not per-execution).
+    sync_interval: float = 600.0
+    # Cost charged per sync round-trip; None uses ``CostModel.hub_sync``.
+    sync_cost: float | None = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"cluster needs at least 1 worker, got {self.workers}")
+        if self.sync_interval <= 0:
+            raise ValueError(
+                f"sync_interval must be positive, got {self.sync_interval}"
+            )
+
+
+class ClusterWorker:
+    """One fuzz loop plus its hub-sync bookkeeping."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        loop: FuzzLoop,
+        hub: CorpusHub,
+        sync_interval: float = 600.0,
+        sync_cost: float | None = None,
+    ):
+        self.worker_id = worker_id
+        self.loop = loop
+        self.hub = hub
+        self.sync_interval = sync_interval
+        self.sync_cost = (
+            sync_cost if sync_cost is not None else loop.cost.hub_sync
+        )
+        self.next_sync = sync_interval
+        # Hub epoch of the last pull; pulls are incremental on this.
+        self.sync_epoch = 0
+        # Corpus entries already offered to the hub (a prefix: pulled
+        # entries are appended past this mark and never pushed back).
+        self._synced_entries = 0
+
+    def step(self) -> bool:
+        """One scheduler quantum: a hub sync if one is due, otherwise a
+        fuzz-loop iteration.  Returns False once the clock expired."""
+        if self.loop.clock.expired():
+            return False
+        if self.loop.clock.now >= self.next_sync:
+            self.sync()
+        else:
+            self.loop._iterate()
+        return True
+
+    def sync(self) -> None:
+        """One hub round-trip: push fresh corpus entries, pull the rest
+        of the fleet's, merge their coverage, pay the sync cost."""
+        loop = self.loop
+        fresh = loop.corpus.entries[self._synced_entries:]
+        accepted = self.hub.push(self.worker_id, fresh, loop.clock.now)
+        pulled, self.sync_epoch = self.hub.pull(
+            self.worker_id, self.sync_epoch
+        )
+        for entry in pulled:
+            loop.accumulated.merge(entry.coverage)
+            loop.corpus.add(
+                entry.program, entry.coverage,
+                signal=entry.signal, hints=entry.hints,
+            )
+        self._synced_entries = len(loop.corpus.entries)
+        loop.stats.hub_syncs += 1
+        loop.stats.hub_pushed += accepted
+        loop.stats.hub_pulled += len(pulled)
+        loop.clock.advance(self.sync_cost, "hub_sync")
+        while self.next_sync <= loop.clock.now:
+            self.next_sync += self.sync_interval
+
+    def flush(self) -> None:
+        """Final push at the horizon (no pull, no time charge) so the
+        hub union reflects everything the fleet found."""
+        fresh = self.loop.corpus.entries[self._synced_entries:]
+        accepted = self.hub.push(self.worker_id, fresh, self.loop.clock.now)
+        self._synced_entries = len(self.loop.corpus.entries)
+        self.loop.stats.hub_pushed += accepted
+
+
+class ClusterScheduler:
+    """Min-heap event loop over (virtual-time, worker-id)."""
+
+    def __init__(self, workers: list[ClusterWorker]):
+        self.workers = sorted(workers, key=lambda worker: worker.worker_id)
+        ids = [worker.worker_id for worker in self.workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate worker ids: {ids}")
+        self._by_id = {worker.worker_id: worker for worker in self.workers}
+
+    def run_until(self, time: float) -> None:
+        """Step workers in deterministic order until every clock reaches
+        ``time`` (or its horizon)."""
+        heap: list[tuple[float, int]] = []
+        for worker in self.workers:
+            clock = worker.loop.clock
+            if not clock.expired() and clock.now < time:
+                heapq.heappush(heap, (clock.now, worker.worker_id))
+        while heap:
+            _, worker_id = heapq.heappop(heap)
+            worker = self._by_id[worker_id]
+            clock = worker.loop.clock
+            if clock.expired() or clock.now >= time:
+                continue
+            worker.step()
+            if not clock.expired() and clock.now < time:
+                heapq.heappush(heap, (clock.now, worker_id))
+
+
+@dataclass
+class ClusterResult:
+    """What a cluster campaign reports for one fleet size."""
+
+    workers: int
+    horizon: float
+    worker_stats: list[FuzzStats]
+    merged: FuzzStats
+    hub_edges: int
+    hub_blocks: int
+    hub_timeline: list[FuzzObservation] = field(default_factory=list)
+    hub_stats: HubStats = field(default_factory=HubStats)
+    service_stats: object | None = None
+
+    @property
+    def final_edges(self) -> int:
+        """Fleet-union edge coverage (the hub's, after the final flush)."""
+        return self.hub_edges
+
+    @property
+    def final_blocks(self) -> int:
+        return self.hub_blocks
+
+
+class ClusterFuzzer:
+    """Facade tying workers, hub, scheduler, and serving tier together."""
+
+    def __init__(
+        self,
+        workers: list[ClusterWorker],
+        hub: CorpusHub,
+        tier: SharedInferenceTier | None = None,
+    ):
+        self.workers = sorted(workers, key=lambda worker: worker.worker_id)
+        self.hub = hub
+        self.tier = tier
+        self.scheduler = ClusterScheduler(self.workers)
+
+    def run_until(self, time: float) -> None:
+        self.scheduler.run_until(time)
+
+    def run(self) -> ClusterResult:
+        self.run_until(float("inf"))
+        return self.finalize()
+
+    def finalize(self) -> ClusterResult:
+        for worker in self.workers:
+            worker.flush()
+        worker_stats = [worker.loop.finalize() for worker in self.workers]
+        merged = FuzzStats.merge(worker_stats)
+        if self.tier is not None:
+            # The shared tier's breaker is cluster-level state; workers
+            # leave it zeroed so the merge cannot double-count trips.
+            merged.breaker_trips = self.tier.service.stats.breaker_trips
+            merged.breaker_state = self.tier.service.stats.breaker_state
+        return ClusterResult(
+            workers=len(self.workers),
+            horizon=max(
+                worker.loop.clock.horizon for worker in self.workers
+            ),
+            worker_stats=worker_stats,
+            merged=merged,
+            hub_edges=len(self.hub.coverage.edges),
+            hub_blocks=len(self.hub.coverage.blocks),
+            hub_timeline=list(self.hub.timeline),
+            hub_stats=self.hub.stats,
+            service_stats=(
+                self.tier.service.stats if self.tier is not None else None
+            ),
+        )

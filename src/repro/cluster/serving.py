@@ -1,0 +1,74 @@
+"""One serving tier, many workers.
+
+The paper's deployment funnels every fuzzing VM's localization queries
+into a central GPU pool (§3.4, §5.5).  :class:`SharedInferenceTier`
+reproduces that topology: a single (typically batching) inference
+service owned by the cluster, with a per-worker
+:class:`WorkerServiceView` that a :class:`~repro.snowplow.fuzzer.SnowplowLoop`
+uses exactly like a private service.  The view tags submissions with its
+worker id; when any worker polls, the tier drains everything the shared
+service completed and routes each result to its owner's mailbox, so a
+prediction is never delivered to the wrong loop no matter how the
+scheduler interleaves polls.
+
+Views deliberately have no ``state_dict``/``restore``: the shared
+service is checkpointed once with the cluster, not once per worker.
+"""
+
+from __future__ import annotations
+
+from repro.pmm.serve import InferenceService
+
+__all__ = ["SharedInferenceTier", "WorkerServiceView"]
+
+
+class SharedInferenceTier:
+    """Routes one shared :class:`InferenceService` to many workers."""
+
+    def __init__(self, service: InferenceService):
+        self.service = service
+        self._completed: dict[int, list] = {}
+        self._failures: dict[int, list] = {}
+
+    def view(self, worker_id: int) -> "WorkerServiceView":
+        return WorkerServiceView(self, worker_id)
+
+    def reset(self) -> None:
+        """Drop undelivered mailboxes (checkpoint restore: anything not
+        yet delivered died with the in-flight requests)."""
+        self._completed.clear()
+        self._failures.clear()
+
+    def _distribute(self, now: float) -> None:
+        for payload, result in self.service.poll(now):
+            worker_id, query = payload
+            self._completed.setdefault(worker_id, []).append((query, result))
+        for payload, reason in self.service.drain_failures():
+            worker_id, query = payload
+            self._failures.setdefault(worker_id, []).append((query, reason))
+
+
+class WorkerServiceView:
+    """A worker's handle on the shared tier (the InferenceService
+    surface a fuzz loop consumes: submit/poll/drain_failures)."""
+
+    def __init__(self, tier: SharedInferenceTier, worker_id: int):
+        self.tier = tier
+        self.worker_id = worker_id
+
+    def submit(self, query, now: float) -> float | None:
+        return self.tier.service.submit((self.worker_id, query), now)
+
+    def poll(self, now: float) -> list:
+        self.tier._distribute(now)
+        return self.tier._completed.pop(self.worker_id, [])
+
+    def drain_failures(self) -> list:
+        return self.tier._failures.pop(self.worker_id, [])
+
+    def pending_count(self) -> int:
+        return self.tier.service.pending_count()
+
+    @property
+    def stats(self):
+        return self.tier.service.stats

@@ -68,6 +68,20 @@ class FuzzStats:
     breaker_state: str = "closed"
     # Times this run was restored from a campaign checkpoint.
     resumes: int = 0
+    # --- cluster accounting (repro.cluster) ---
+    # Corpus-hub sync round-trips, and entries pushed to / pulled from
+    # the hub by this worker.
+    hub_syncs: int = 0
+    hub_pushed: int = 0
+    hub_pulled: int = 0
+
+    # Counters that sum when runs are merged (everything except the
+    # timeline, crashes, mutations, and breaker state).
+    _SUMMED = (
+        "executions", "corpus_size", "exec_timeouts", "vm_restarts",
+        "inference_failures", "heuristic_fallbacks", "corpus_write_retries",
+        "breaker_trips", "resumes", "hub_syncs", "hub_pushed", "hub_pulled",
+    )
 
     @property
     def final_edges(self) -> int:
@@ -85,6 +99,71 @@ class FuzzStats:
             if observation.edges >= edges:
                 return observation.time
         return None
+
+    @classmethod
+    def merge(cls, runs: list["FuzzStats"]) -> "FuzzStats":
+        """Aggregate several (e.g. per-worker) runs into one ledger.
+
+        Counters sum; mutation tallies sum key-wise; crashes concatenate
+        with per-signature dedup; the coverage timelines merge onto the
+        union of their sample times, taking at each instant the **best
+        coverage any run holds** (with hub syncing this envelope tracks
+        the fleet union up to one sync interval of lag) and the **sum of
+        executions**.  ``time_to_edges`` then reads naturally off the
+        merged timeline.
+        """
+        merged = cls()
+        if not runs:
+            return merged
+        for stats in runs:
+            for counter in cls._SUMMED:
+                setattr(
+                    merged, counter,
+                    getattr(merged, counter) + getattr(stats, counter),
+                )
+            for name, count in stats.mutations.items():
+                merged.mutations[name] = merged.mutations.get(name, 0) + count
+        for rank in ("open", "half_open"):
+            if any(stats.breaker_state == rank for stats in runs):
+                merged.breaker_state = rank
+                break
+        seen_crashes: set[str] = set()
+        for stats in runs:
+            for crash in stats.crashes:
+                if crash.signature not in seen_crashes:
+                    seen_crashes.add(crash.signature)
+                    merged.crashes.append(crash)
+        times = sorted(
+            {obs.time for stats in runs for obs in stats.observations}
+        )
+        cursors = [0] * len(runs)
+        latest: list[FuzzObservation | None] = [None] * len(runs)
+        for time in times:
+            for index, stats in enumerate(runs):
+                series = stats.observations
+                while (
+                    cursors[index] < len(series)
+                    and series[cursors[index]].time <= time
+                ):
+                    latest[index] = series[cursors[index]]
+                    cursors[index] += 1
+            merged.observations.append(
+                FuzzObservation(
+                    time=time,
+                    edges=max(
+                        (obs.edges for obs in latest if obs is not None),
+                        default=0,
+                    ),
+                    blocks=max(
+                        (obs.blocks for obs in latest if obs is not None),
+                        default=0,
+                    ),
+                    executions=sum(
+                        obs.executions for obs in latest if obs is not None
+                    ),
+                )
+            )
+        return merged
 
 
 class FuzzLoop:

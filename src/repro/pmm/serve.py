@@ -24,18 +24,36 @@ time out and crash, §5.5):
   half-open probe succeeds;
 - failures are observable: ``drain_failures`` hands back the lost
   queries, and :class:`InferenceStats` counts rejections, timeouts,
-  slot crashes, retries, and breaker transitions.
+  slot crashes, retries, and breaker transitions, and records the full
+  queue-delay distribution plus a batch-size histogram.
+
+:class:`BatchingInferenceService` adds **dynamic batching** on top: the
+GPU tier amortizes its fixed per-pass cost over many requests, so
+requests queue until ``max_batch_size`` accumulate or ``batch_timeout``
+virtual seconds elapse, and a batch of ``b`` occupies one slot for
+``base_latency + b * marginal_latency``.  Saturation throughput rises
+from ``servers / latency`` to
+``servers * max_batch_size / latency_of(max_batch_size)`` — the
+mechanism that lets one serving tier absorb a whole fuzzing fleet's
+query stream.  Under fault injection a failed slot loses the *whole*
+batch; retries re-enqueue the member requests individually.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import InferenceTimeout, ModelError
 from repro.faults import CircuitBreaker, FaultInjector
 
-__all__ = ["InferenceService", "InferenceStats", "PendingPrediction"]
+__all__ = [
+    "BatchingInferenceService",
+    "InferenceService",
+    "InferenceStats",
+    "PendingPrediction",
+]
 
 # Failure kinds a request can be lost to.
 TIMEOUT = "timeout"
@@ -63,6 +81,13 @@ class InferenceStats:
     breaker_state: str = "closed"
     total_latency: float = 0.0
     total_queue_delay: float = 0.0
+    # One entry per dispatched request (per attempt under batching), so
+    # the tail of the queueing distribution is observable, not just the
+    # mean.
+    queue_delays: list[float] = field(default_factory=list)
+    # Dispatched-batch-size histogram: {batch size: batches dispatched}.
+    # The unbatched service dispatches every request as a batch of one.
+    batch_sizes: dict[int, int] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
@@ -71,10 +96,47 @@ class InferenceStats:
 
     @property
     def mean_queue_delay(self) -> float:
-        """Mean wait for a free slot, over all admitted requests."""
+        """Mean wait for dispatch, over all dispatched requests."""
+        if self.queue_delays:
+            return self.total_queue_delay / len(self.queue_delays)
         return (
             self.total_queue_delay / self.submitted if self.submitted else 0.0
         )
+
+    @property
+    def p50_queue_delay(self) -> float:
+        return self._queue_delay_quantile(0.50)
+
+    @property
+    def p95_queue_delay(self) -> float:
+        return self._queue_delay_quantile(0.95)
+
+    @property
+    def max_queue_delay(self) -> float:
+        return max(self.queue_delays) if self.queue_delays else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean size of dispatched batches (1.0 for unbatched serving)."""
+        batches = sum(self.batch_sizes.values())
+        if not batches:
+            return 0.0
+        weighted = sum(size * count for size, count in self.batch_sizes.items())
+        return weighted / batches
+
+    def _queue_delay_quantile(self, quantile: float) -> float:
+        if not self.queue_delays:
+            return 0.0
+        ordered = sorted(self.queue_delays)
+        index = max(0, math.ceil(quantile * len(ordered)) - 1)
+        return ordered[min(index, len(ordered) - 1)]
+
+    def record_queue_delay(self, delay: float) -> None:
+        self.total_queue_delay += delay
+        self.queue_delays.append(delay)
+
+    def record_batch(self, size: int) -> None:
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
 
 
 @dataclass(order=True)
@@ -189,7 +251,8 @@ class InferenceService:
             ),
         )
         self.stats.submitted += 1
-        self.stats.total_queue_delay += first_start - now
+        self.stats.record_queue_delay(first_start - now)
+        self.stats.record_batch(1)
         return ready
 
     def poll(self, now: float) -> list[tuple[object, object]]:
@@ -254,7 +317,8 @@ class InferenceService:
                     "submitted", "completed", "rejected",
                     "breaker_rejections", "timeouts", "slot_crashes",
                     "retries", "failures", "breaker_trips", "breaker_state",
-                    "total_latency", "total_queue_delay",
+                    "total_latency", "total_queue_delay", "queue_delays",
+                    "batch_sizes",
                 )
             },
             "breaker": (
@@ -269,6 +333,11 @@ class InferenceService:
         self._pending = []
         self._failures = []
         for key, value in state["stats"].items():
+            if key == "batch_sizes":
+                # JSON stringifies integer keys.
+                value = {int(size): int(count) for size, count in value.items()}
+            elif key == "queue_delays":
+                value = [float(delay) for delay in value]
             setattr(self.stats, key, value)
         if state.get("breaker") is not None and self.breaker is not None:
             self.breaker.restore(state["breaker"])
@@ -290,3 +359,274 @@ class InferenceService:
         if self.breaker is not None:
             self.stats.breaker_trips = self.breaker.trips
             self.stats.breaker_state = self.breaker.state.value
+
+
+# ----- dynamic batching -----
+
+
+@dataclass
+class _QueuedRequest:
+    """A request waiting in the forming batch."""
+
+    payload: object
+    arrival: float        # when it (re-)entered the queue
+    submitted_at: float   # original submission time, for latency stats
+    attempts: int = 0     # failed batch attempts so far
+
+
+@dataclass(order=True)
+class _PendingBatch:
+    """A dispatched batch occupying one slot until ``ready_at``."""
+
+    ready_at: float
+    sequence: int
+    requests: list = field(compare=False, default_factory=list)
+    failure: str | None = field(compare=False, default=None)
+
+
+class BatchingInferenceService(InferenceService):
+    """An :class:`InferenceService` with dynamic request batching.
+
+    Requests queue until ``max_batch_size`` accumulate or
+    ``batch_timeout`` virtual seconds pass since the oldest queued
+    request; the batch then occupies the earliest-free slot for
+    ``base_latency + len(batch) * marginal_latency``.  With a marginal
+    cost well below the base cost this raises saturation throughput far
+    above the unbatched ``servers / latency`` — the paper's GPU tier
+    serving an entire fleet of fuzzing VMs.
+
+    Failure semantics follow the deployment: an injected fault loses the
+    *whole* batch (the replica crashed holding it), and each member
+    request re-enqueues individually at the detection time, up to
+    ``max_retries`` times, before being reported through
+    ``drain_failures``.
+
+    ``submit`` returns a worst-case delivery estimate for requests still
+    queueing (the batch may leave earlier if it fills); exact delivery
+    order is what ``poll`` observes, and it is deterministic.
+    """
+
+    def __init__(
+        self,
+        predict_fn,
+        base_latency: float,
+        marginal_latency: float,
+        max_batch_size: int = 8,
+        batch_timeout: float | None = None,
+        servers: int = 4,
+        max_queue: int = 256,
+        deadline: float | None = None,
+        max_retries: int = 0,
+        retry_backoff: float | None = None,
+        injector: FaultInjector | None = None,
+        breaker: CircuitBreaker | None = None,
+        strict: bool = False,
+    ):
+        if base_latency <= 0:
+            raise ModelError(
+                f"base latency must be positive, got {base_latency}"
+            )
+        if marginal_latency < 0:
+            raise ModelError(
+                f"marginal latency must be >= 0, got {marginal_latency}"
+            )
+        if max_batch_size < 1:
+            raise ModelError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        single = base_latency + marginal_latency
+        super().__init__(
+            predict_fn,
+            latency=single,
+            servers=servers,
+            max_queue=max_queue,
+            deadline=deadline,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            injector=injector,
+            breaker=breaker,
+            strict=strict,
+        )
+        self.base_latency = base_latency
+        self.marginal_latency = marginal_latency
+        self.max_batch_size = max_batch_size
+        self.batch_timeout = single if batch_timeout is None else batch_timeout
+        if self.batch_timeout <= 0:
+            raise ModelError(
+                f"batch_timeout must be positive, got {self.batch_timeout}"
+            )
+        self._queue: list[_QueuedRequest] = []
+        self._batches: list[_PendingBatch] = []
+        self._completed: list[tuple[object, object]] = []
+        self._last_dispatch_ready = 0.0
+
+    def latency_of(self, batch_size: int) -> float:
+        """Slot occupancy of one batch of ``batch_size`` requests."""
+        return self.base_latency + self.marginal_latency * batch_size
+
+    @property
+    def saturation_throughput(self) -> float:
+        """Queries/second at full batches — the batching win."""
+        return (
+            self.servers * self.max_batch_size
+            / self.latency_of(self.max_batch_size)
+        )
+
+    # ----- the service interface -----
+
+    def submit(self, query, now: float) -> float | None:
+        if self.breaker is not None and not self.breaker.allow(now):
+            self.stats.breaker_rejections += 1
+            self._sync_breaker()
+            return None
+        # Dispatch batches that should already have left, so a late
+        # submission never joins a batch whose deadline has passed.
+        self._advance(now)
+        if len(self._queue) + self._in_flight() >= self.max_queue:
+            self.stats.rejected += 1
+            if self.breaker is not None:
+                self.breaker.cancel_probe()
+            return None
+        self._queue.append(
+            _QueuedRequest(payload=query, arrival=now, submitted_at=now)
+        )
+        self.stats.submitted += 1
+        if len(self._queue) >= self.max_batch_size:
+            self._dispatch(now)
+        return self._estimate_ready(now)
+
+    def poll(self, now: float) -> list[tuple[object, object]]:
+        self._advance(now)
+        self._sync_breaker()
+        done = self._completed
+        self._completed = []
+        return done
+
+    def pending_count(self) -> int:
+        return len(self._queue) + self._in_flight()
+
+    # ----- checkpointing -----
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        # Queued and in-flight requests all die with the worker.
+        state["lost_in_flight"] = self.pending_count()
+        return state
+
+    def restore(self, state: dict) -> int:
+        lost = super().restore(state)
+        self._queue = []
+        self._batches = []
+        self._completed = []
+        return lost
+
+    # ----- internals -----
+
+    def _in_flight(self) -> int:
+        return sum(len(batch.requests) for batch in self._batches)
+
+    def _estimate_ready(self, now: float) -> float:
+        """Worst-case delivery time of the newest request."""
+        if not self._queue:
+            # The request dispatched immediately (batch filled).
+            return self._last_dispatch_ready
+        deadline = (
+            min(request.arrival for request in self._queue)
+            + self.batch_timeout
+        )
+        start = max(deadline, min(self._server_free))
+        return start + self.latency_of(len(self._queue))
+
+    def _advance(self, now: float) -> None:
+        """Process every dispatch/completion event due by ``now``.
+
+        Events are consumed in virtual-time order, so completions that
+        re-enqueue retries interleave correctly with timeout-driven
+        dispatches — the whole cascade is deterministic.
+        """
+        while True:
+            deadline = (
+                min(request.arrival for request in self._queue)
+                + self.batch_timeout
+                if self._queue else float("inf")
+            )
+            ready = (
+                self._batches[0].ready_at if self._batches else float("inf")
+            )
+            event = min(deadline, ready)
+            if event > now:
+                return
+            if ready <= deadline:
+                self._complete(heapq.heappop(self._batches))
+            else:
+                self._dispatch(deadline)
+
+    def _dispatch(self, time: float) -> None:
+        """Move up to ``max_batch_size`` queued requests onto a slot."""
+        batch_requests = self._queue[: self.max_batch_size]
+        del self._queue[: self.max_batch_size]
+        size = len(batch_requests)
+        slot = min(range(self.servers), key=lambda i: self._server_free[i])
+        start = max(time, self._server_free[slot])
+        failure = self._attempt_failure(start)
+        if failure is None:
+            ready = start + self.latency_of(size)
+        else:
+            detection = (
+                self.deadline
+                if failure == TIMEOUT and self.deadline is not None
+                else self.latency_of(size)
+            )
+            ready = start + detection
+        self._server_free[slot] = ready
+        self._last_dispatch_ready = ready
+        for request in batch_requests:
+            self.stats.record_queue_delay(start - request.arrival)
+        self.stats.record_batch(size)
+        self._sequence += 1
+        heapq.heappush(
+            self._batches,
+            _PendingBatch(
+                ready_at=ready, sequence=self._sequence,
+                requests=batch_requests, failure=failure,
+            ),
+        )
+
+    def _complete(self, batch: _PendingBatch) -> None:
+        if batch.failure is None:
+            for request in batch.requests:
+                prediction = self.predict_fn(request.payload)
+                self.stats.completed += 1
+                self.stats.total_latency += (
+                    batch.ready_at - request.submitted_at
+                )
+                self._completed.append((request.payload, prediction))
+            if self.breaker is not None:
+                self.breaker.record_success(batch.ready_at)
+            return
+        # The slot died holding the batch: every member is lost together
+        # and retries individually.
+        if batch.failure == TIMEOUT:
+            self.stats.timeouts += 1
+        else:
+            self.stats.slot_crashes += 1
+        if self.breaker is not None:
+            self.breaker.record_failure(batch.ready_at)
+        for request in batch.requests:
+            if request.attempts < self.max_retries:
+                request.attempts += 1
+                request.arrival = batch.ready_at
+                self.stats.retries += 1
+                self._queue.append(request)
+            else:
+                self.stats.failures += 1
+                self._failures.append((request.payload, batch.failure))
+                if self.strict:
+                    self._sync_breaker()
+                    raise InferenceTimeout(
+                        f"batched request lost to {batch.failure} after "
+                        f"{request.attempts + 1} attempt(s)"
+                    )
+        # Re-enqueued retries may already fill a batch.
+        while len(self._queue) >= self.max_batch_size:
+            self._dispatch(batch.ready_at)

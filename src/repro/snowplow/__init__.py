@@ -18,22 +18,29 @@ from repro.snowplow.campaign import (
     CoverageCampaignResult,
     CrashCampaignResult,
     FaultCampaignResult,
+    ScalingCampaignResult,
+    ScalingPoint,
+    build_cluster,
     run_coverage_campaign,
     run_crash_campaign,
     run_directed_campaign,
     run_fault_tolerance_campaign,
+    run_scaling_campaign,
     train_pmm,
     TrainedPMM,
 )
 from repro.snowplow.checkpointing import (
     CheckpointStore,
+    cluster_state,
     load_checkpoint,
     loop_state,
+    restore_cluster_state,
     restore_loop_state,
     save_checkpoint,
 )
 from repro.snowplow.reporting import (
     format_fig6,
+    format_scaling,
     format_table1,
     format_table2,
     format_table3,
@@ -47,21 +54,28 @@ __all__ = [
     "CrashCampaignResult",
     "FaultCampaignResult",
     "PMMLocalizer",
+    "ScalingCampaignResult",
+    "ScalingPoint",
     "SnowplowConfig",
     "SnowplowLoop",
     "TrainedPMM",
+    "build_cluster",
+    "cluster_state",
     "format_fig6",
+    "format_scaling",
     "format_table1",
     "format_table2",
     "format_table3",
     "format_table5",
     "load_checkpoint",
     "loop_state",
+    "restore_cluster_state",
     "restore_loop_state",
     "run_coverage_campaign",
     "run_crash_campaign",
     "run_directed_campaign",
     "run_fault_tolerance_campaign",
+    "run_scaling_campaign",
     "save_checkpoint",
     "train_pmm",
 ]

@@ -15,6 +15,9 @@ Each function reproduces one experimental protocol:
   seed run fault-free and under an injected :class:`~repro.faults.FaultPlan`
   (inference outages, VM hangs, flaky stores, a mid-run worker crash
   resumed from checkpoint), with the graceful-degradation summary.
+- :func:`run_scaling_campaign` — the fleet: deterministic multi-worker
+  clusters (:mod:`repro.cluster`) swept over fleet sizes, reporting
+  coverage-vs-workers and the shared batching tier's throughput.
 """
 
 from __future__ import annotations
@@ -23,8 +26,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster import (
+    ClusterConfig,
+    ClusterFuzzer,
+    ClusterResult,
+    ClusterWorker,
+    CorpusHub,
+    SharedInferenceTier,
+)
 from repro.errors import CampaignError
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import CircuitBreaker, FaultInjector, FaultPlan
 from repro.fuzzer.crash import CrashTriage, TriagedCrash
 from repro.fuzzer.directed import DirectedFuzzer, DirectedResult, SyzDirectLocalizer
 from repro.fuzzer.engine import MutationEngine, TypeSelector
@@ -36,6 +47,7 @@ from repro.kernel.build import Kernel
 from repro.kernel.executor import Executor
 from repro.pmm.dataset import DatasetConfig, MutationDataset, harvest_mutations
 from repro.pmm.metrics import SelectorMetrics
+from repro.pmm.serve import BatchingInferenceService, InferenceService
 from repro.pmm.model import PMM, PMMConfig
 from repro.pmm.train import TrainConfig, Trainer
 from repro.rng import derive_seed, split
@@ -53,13 +65,17 @@ __all__ = [
     "CoverageCampaignResult",
     "CrashCampaignResult",
     "FaultCampaignResult",
+    "ScalingCampaignResult",
+    "ScalingPoint",
     "TrainedPMM",
+    "build_cluster",
     "default_directed_targets",
     "known_crash_signatures",
     "run_coverage_campaign",
     "run_crash_campaign",
     "run_directed_campaign",
     "run_fault_tolerance_campaign",
+    "run_scaling_campaign",
     "train_pmm",
 ]
 
@@ -250,6 +266,7 @@ def _build_snowplow_loop(
     kernel: Kernel, trained: TrainedPMM, run_seed: int,
     config: CampaignConfig, oracle: bool = False,
     injector: FaultInjector | None = None,
+    service=None,
 ) -> SnowplowLoop:
     executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
     generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
@@ -273,7 +290,7 @@ def _build_snowplow_loop(
         kernel, engine, executor, triage, clock, config.cost,
         split(run_seed, "loop"), sample_interval=config.sample_interval,
         localizer=localizer, snowplow_config=config.snowplow,
-        injector=injector,
+        injector=injector, service=service,
     )
 
 
@@ -513,6 +530,193 @@ def run_fault_tolerance_campaign(
         crash_time=crash_time,
         checkpoints_taken=checkpoints,
         resumed=resumed,
+    )
+
+
+# ----- scaling (the fleet) -----
+
+
+def _build_shared_tier(
+    kernel: Kernel, trained: TrainedPMM, run_seed: int,
+    config: CampaignConfig, oracle: bool = False,
+    injector: FaultInjector | None = None,
+) -> SharedInferenceTier:
+    """The cluster's central serving tier: one (batching) service whose
+    predictor runs the localizer on tagged ``(worker_id, query)``
+    payloads with a serve-side RNG stream."""
+    cfg = config.snowplow
+    if oracle:
+        from repro.snowplow.oracle import OracleLocalizer
+
+        localizer = OracleLocalizer(kernel)
+    else:
+        localizer = PMMLocalizer(
+            trained.model, trained.encoder, kernel,
+            Executor(kernel, seed=derive_seed(run_seed, "serve-exec")),
+            max_targets=cfg.max_targets,
+            threshold=cfg.prediction_threshold,
+        )
+    serve_rng = split(run_seed, "serve")
+
+    def predict(payload):
+        _, query = payload
+        program, coverage, targets, _ = query
+        return localizer.localize(program, coverage, targets, serve_rng)
+
+    latency = config.cost.inference_latency
+    breaker = CircuitBreaker(
+        failure_threshold=cfg.breaker_failure_threshold,
+        reset_timeout=cfg.breaker_reset_factor * latency,
+    )
+    if cfg.max_batch_size > 1:
+        service: InferenceService = BatchingInferenceService(
+            predict_fn=predict,
+            base_latency=cfg.batch_base_factor * latency,
+            marginal_latency=cfg.batch_marginal_factor * latency,
+            max_batch_size=cfg.max_batch_size,
+            batch_timeout=cfg.batch_timeout_factor * latency,
+            servers=cfg.servers,
+            max_queue=cfg.max_queue,
+            deadline=cfg.request_deadline_factor * latency,
+            max_retries=cfg.max_retries,
+            retry_backoff=cfg.retry_backoff_factor * latency,
+            injector=injector,
+            breaker=breaker,
+        )
+    else:
+        service = InferenceService(
+            predict_fn=predict,
+            latency=latency,
+            servers=cfg.servers,
+            max_queue=cfg.max_queue,
+            deadline=cfg.request_deadline_factor * latency,
+            max_retries=cfg.max_retries,
+            retry_backoff=cfg.retry_backoff_factor * latency,
+            injector=injector,
+            breaker=breaker,
+        )
+    return SharedInferenceTier(service)
+
+
+def build_cluster(
+    kernel: Kernel,
+    trained: TrainedPMM | None,
+    run_seed: int,
+    config: CampaignConfig,
+    cluster_config: ClusterConfig | None = None,
+    baseline: bool = False,
+    oracle: bool = False,
+    injector: FaultInjector | None = None,
+) -> ClusterFuzzer:
+    """Assemble a seeded, ready-to-run fleet.
+
+    Worker ``i``'s RNG streams derive from ``(run_seed, "worker", i)``
+    regardless of fleet size, so worker 0 of a 1-worker cluster and
+    worker 0 of an 8-worker cluster run the same private schedule — the
+    scaling sweep then measures sharing, not reseeding.  All workers
+    start from one shared seed corpus.  ``baseline=True`` builds a
+    Syzkaller (heuristics-only) fleet with no serving tier.
+    """
+    cluster_config = cluster_config or ClusterConfig()
+    seeds = ProgramGenerator(
+        kernel.table, split(run_seed, "seed-corpus")
+    ).seed_corpus(config.seed_corpus_size)
+    hub = CorpusHub()
+    tier = None
+    if not baseline:
+        tier = _build_shared_tier(
+            kernel, trained, run_seed, config, oracle=oracle,
+            injector=injector,
+        )
+    workers = []
+    for index in range(cluster_config.workers):
+        worker_seed = derive_seed(run_seed, "worker", index)
+        if baseline:
+            loop: FuzzLoop = _build_syzkaller_loop(
+                kernel, worker_seed, config, injector=injector
+            )
+        else:
+            loop = _build_snowplow_loop(
+                kernel, trained, worker_seed, config, oracle=oracle,
+                injector=injector, service=tier.view(index),
+            )
+        loop.seed([program.clone() for program in seeds])
+        workers.append(
+            ClusterWorker(
+                worker_id=index, loop=loop, hub=hub,
+                sync_interval=cluster_config.sync_interval,
+                sync_cost=cluster_config.sync_cost,
+            )
+        )
+    return ClusterFuzzer(workers, hub, tier=tier)
+
+
+@dataclass
+class ScalingPoint:
+    """One fleet size's outcome."""
+
+    workers: int
+    result: ClusterResult
+
+
+@dataclass
+class ScalingCampaignResult:
+    """Coverage-vs-fleet-size sweep (plus serving-tier throughput)."""
+
+    kernel_version: str
+    horizon: float
+    points: list[ScalingPoint]
+
+    def final_edges(self) -> dict[int, int]:
+        return {point.workers: point.result.final_edges for point in self.points}
+
+    def observed_qps(self) -> dict[int, float]:
+        """Completed inferences per virtual second, by fleet size."""
+        rates: dict[int, float] = {}
+        for point in self.points:
+            stats = point.result.service_stats
+            rates[point.workers] = (
+                stats.completed / self.horizon
+                if stats is not None and self.horizon > 0 else 0.0
+            )
+        return rates
+
+
+def run_scaling_campaign(
+    kernel: Kernel,
+    trained: TrainedPMM | None,
+    config: CampaignConfig,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+    cluster_config: ClusterConfig | None = None,
+    baseline: bool = False,
+    oracle: bool = False,
+) -> ScalingCampaignResult:
+    """Sweep fleet sizes at a fixed per-worker virtual budget.
+
+    Every fleet size runs from the same campaign-derived ``run_seed``,
+    so the sweep isolates the effect of fleet width (hub sharing plus
+    serving-tier contention) from reseeding noise.
+    """
+    if not worker_counts:
+        raise CampaignError("scaling campaign needs at least one fleet size")
+    base = cluster_config or ClusterConfig()
+    run_seed = derive_seed(config.seed, "scaling", kernel.version)
+    points = []
+    for count in worker_counts:
+        cluster = build_cluster(
+            kernel, trained, run_seed, config,
+            cluster_config=ClusterConfig(
+                workers=count,
+                sync_interval=base.sync_interval,
+                sync_cost=base.sync_cost,
+            ),
+            baseline=baseline, oracle=oracle,
+        )
+        points.append(ScalingPoint(workers=count, result=cluster.run()))
+    return ScalingCampaignResult(
+        kernel_version=kernel.version,
+        horizon=config.horizon,
+        points=points,
     )
 
 

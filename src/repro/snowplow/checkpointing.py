@@ -37,13 +37,15 @@ from repro.syzlang.parser import parse_program, serialize_program
 
 __all__ = [
     "CheckpointStore",
+    "cluster_state",
     "load_checkpoint",
     "loop_state",
+    "restore_cluster_state",
     "restore_loop_state",
     "save_checkpoint",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 # Transient checkpoint-store write failures retried before giving up.
 _WRITE_ATTEMPTS = 5
@@ -51,7 +53,7 @@ _WRITE_ATTEMPTS = 5
 _STATS_COUNTERS = (
     "executions", "corpus_size", "exec_timeouts", "vm_restarts",
     "inference_failures", "heuristic_fallbacks", "corpus_write_retries",
-    "breaker_trips", "resumes",
+    "breaker_trips", "resumes", "hub_syncs", "hub_pushed", "hub_pulled",
 )
 
 
@@ -95,12 +97,16 @@ def loop_state(loop: FuzzLoop) -> dict:
             loop.injector.state() if loop.injector is not None else None
         ),
     }
-    service = getattr(loop, "service", None)
-    if service is not None:
+    if hasattr(loop, "_burst_yield"):
         # Snowplow extras.  Pending bursts are dropped along with the
         # in-flight inference that would have produced more of them.
-        state["service"] = service.state_dict()
         state["burst_yield"] = loop._burst_yield
+    service = getattr(loop, "service", None)
+    if service is not None and hasattr(service, "state_dict"):
+        # A cluster worker's service is a view onto the shared tier,
+        # which the cluster checkpoint captures once; only a privately
+        # owned service is snapshotted with its loop.
+        state["service"] = service.state_dict()
     return state
 
 
@@ -188,6 +194,7 @@ def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
         lost = service.restore(state["service"])
         # In-flight predictions died with the worker.
         loop.stats.inference_failures += lost
+    if "burst_yield" in state:
         loop._burst_yield = float(state["burst_yield"])
         loop._bursts.clear()
         loop._active_burst = None
@@ -196,7 +203,7 @@ def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
 def _restore_stats(loop: FuzzLoop, state: dict) -> FuzzStats:
     stats = FuzzStats()
     for key in _STATS_COUNTERS:
-        setattr(stats, key, int(state[key]))
+        setattr(stats, key, int(state.get(key, 0)))
     stats.breaker_state = str(state["breaker_state"])
     stats.mutations = {
         str(key): int(value) for key, value in state["mutations"].items()
@@ -227,6 +234,82 @@ def _restore_stats(loop: FuzzLoop, state: dict) -> FuzzStats:
             )
         )
     return stats
+
+
+# ----- cluster capture/restore -----
+
+
+def cluster_state(cluster) -> dict:
+    """Snapshot a :class:`~repro.cluster.scheduler.ClusterFuzzer`:
+    every worker's full loop state plus its sync bookkeeping, the hub,
+    and the shared serving tier (captured once, not per worker).
+
+    ``cluster`` is duck-typed (workers/hub/tier) to keep this module
+    free of a dependency on ``repro.cluster``.
+    """
+    workers = sorted(cluster.workers, key=lambda worker: worker.worker_id)
+    state = {
+        "format_version": _FORMAT_VERSION,
+        "kernel_version": workers[0].loop.kernel.version,
+        # CheckpointStore names files by this; the fleet's trailing edge
+        # is the time the resumed run continues from.
+        "clock": {"now": min(worker.loop.clock.now for worker in workers)},
+        "workers": [
+            {
+                "worker_id": worker.worker_id,
+                "next_sync": worker.next_sync,
+                "sync_epoch": worker.sync_epoch,
+                "synced_entries": worker._synced_entries,
+                "loop": loop_state(worker.loop),
+            }
+            for worker in workers
+        ],
+        "hub": cluster.hub.state_dict(),
+    }
+    tier = getattr(cluster, "tier", None)
+    if tier is not None:
+        state["service"] = tier.service.state_dict()
+    return state
+
+
+def restore_cluster_state(cluster, state: dict) -> int:
+    """Restore a freshly built cluster from :func:`cluster_state` output.
+
+    The cluster must have been rebuilt with the same seeds and config as
+    the checkpointed one.  Returns the number of in-flight inference
+    requests lost with the crashed process (also booked — attributed to
+    worker 0, since the shared tier cannot say whose they were once the
+    queue state is serialized away).
+    """
+    if state.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {state.get('format_version')!r}"
+        )
+    workers = sorted(cluster.workers, key=lambda worker: worker.worker_id)
+    worker_states = state["workers"]
+    if len(worker_states) != len(workers):
+        raise CheckpointError(
+            f"checkpoint holds {len(worker_states)} workers, "
+            f"cluster was built with {len(workers)}"
+        )
+    for worker, worker_state in zip(workers, worker_states):
+        if worker.worker_id != worker_state["worker_id"]:
+            raise CheckpointError(
+                f"worker id mismatch: checkpoint "
+                f"{worker_state['worker_id']} vs cluster {worker.worker_id}"
+            )
+        restore_loop_state(worker.loop, worker_state["loop"])
+        worker.next_sync = float(worker_state["next_sync"])
+        worker.sync_epoch = int(worker_state["sync_epoch"])
+        worker._synced_entries = int(worker_state["synced_entries"])
+    cluster.hub.restore(state["hub"], workers[0].loop.kernel.table)
+    lost = 0
+    tier = getattr(cluster, "tier", None)
+    if tier is not None and "service" in state:
+        lost = tier.service.restore(state["service"])
+        tier.reset()
+        workers[0].loop.stats.inference_failures += lost
+    return lost
 
 
 # ----- durable storage -----

@@ -68,6 +68,16 @@ class SnowplowConfig:
     # paper's 57 q/s at 0.69 s latency (machine_infer, 8 L4 GPUs).
     servers: int = 40
     max_queue: int = 128
+    # --- dynamic batching (cluster serving tier) ---
+    # A batch of b requests occupies one slot for
+    # ``(batch_base_factor + b * batch_marginal_factor) * inference_latency``
+    # — at b=1 that is exactly the unbatched latency, so single-worker
+    # runs are unchanged, while a full batch of 8 amortizes the fixed
+    # cost ~2.9x.  ``max_batch_size=1`` disables batching entirely.
+    max_batch_size: int = 8
+    batch_timeout_factor: float = 0.25
+    batch_base_factor: float = 0.75
+    batch_marginal_factor: float = 0.25
     # --- resilience (§3.4's degradation story, under fault injection) ---
     # Per-request deadline and first-retry backoff, as multiples of the
     # inference latency; retries double the backoff each attempt.
@@ -162,6 +172,7 @@ class SnowplowLoop(FuzzLoop):
         *args,
         localizer: PMMLocalizer,
         snowplow_config: SnowplowConfig | None = None,
+        service=None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -169,20 +180,26 @@ class SnowplowLoop(FuzzLoop):
         self.snowplow_config = snowplow_config or SnowplowConfig()
         cfg = self.snowplow_config
         latency = self.cost.inference_latency
-        self.service = InferenceService(
-            predict_fn=self._predict,
-            latency=latency,
-            servers=cfg.servers,
-            max_queue=cfg.max_queue,
-            deadline=cfg.request_deadline_factor * latency,
-            max_retries=cfg.max_retries,
-            retry_backoff=cfg.retry_backoff_factor * latency,
-            injector=self.injector,
-            breaker=CircuitBreaker(
-                failure_threshold=cfg.breaker_failure_threshold,
-                reset_timeout=cfg.breaker_reset_factor * latency,
-            ),
-        )
+        # A cluster hands every worker a view onto one shared serving
+        # tier; standalone loops build their own private service.
+        self._owns_service = service is None
+        if service is not None:
+            self.service = service
+        else:
+            self.service = InferenceService(
+                predict_fn=self._predict,
+                latency=latency,
+                servers=cfg.servers,
+                max_queue=cfg.max_queue,
+                deadline=cfg.request_deadline_factor * latency,
+                max_retries=cfg.max_retries,
+                retry_backoff=cfg.retry_backoff_factor * latency,
+                injector=self.injector,
+                breaker=CircuitBreaker(
+                    failure_threshold=cfg.breaker_failure_threshold,
+                    reset_timeout=cfg.breaker_reset_factor * latency,
+                ),
+            )
         self._bursts: deque[_Burst] = deque()
         # Recent burst productivity (EMA of "this burst mutation found
         # new coverage"), driving the adaptive burst share.
@@ -343,8 +360,12 @@ class SnowplowLoop(FuzzLoop):
 
     def finalize(self) -> FuzzStats:
         stats = super().finalize()
-        stats.breaker_trips = self.service.stats.breaker_trips
-        stats.breaker_state = self.service.stats.breaker_state
+        if self._owns_service:
+            # Breaker visibility belongs to whoever owns the tier: with
+            # a shared cluster service the cluster result reports it once
+            # instead of every worker double-counting the same trips.
+            stats.breaker_trips = self.service.stats.breaker_trips
+            stats.breaker_state = self.service.stats.breaker_state
         return stats
 
     def on_new_coverage(self, entry, outcome, coverage) -> None:

@@ -8,11 +8,16 @@ from repro.fuzzer.crash import TriagedCrash
 from repro.fuzzer.directed import DirectedResult
 from repro.kernel.bugs import CrashKind
 from repro.pmm.metrics import SelectorMetrics
-from repro.snowplow.campaign import CoverageCampaignResult, CrashCampaignResult
+from repro.snowplow.campaign import (
+    CoverageCampaignResult,
+    CrashCampaignResult,
+    ScalingCampaignResult,
+)
 
 __all__ = [
     "format_table1",
     "format_fig6",
+    "format_scaling",
     "format_table2",
     "format_table3",
     "format_table5",
@@ -81,6 +86,45 @@ def format_fig6(results: list[CoverageCampaignResult]) -> str:
         lines.append(
             "    Syzkaller: " + " ".join(f"{v:6.0f}" for v in syz_pts)
         )
+    return "\n".join(lines)
+
+
+def format_scaling(result: ScalingCampaignResult) -> str:
+    """The fleet sweep: coverage vs fleet size, hub traffic, serving
+    throughput, and per-worker breakdowns."""
+    hours = result.horizon / 3600.0
+    lines = [
+        f"Scaling sweep on kernel {result.kernel_version} "
+        f"({hours:.0f}h virtual per worker).",
+        f"{'Workers':>7} {'Edges':>7} {'Execs':>9} {'Syncs':>6} "
+        f"{'Hub acc/dup':>12} {'Infer q/s':>10} {'Batch':>6}",
+    ]
+    qps = result.observed_qps()
+    for point in result.points:
+        cluster = point.result
+        merged = cluster.merged
+        hub = cluster.hub_stats
+        service = cluster.service_stats
+        batch = (
+            f"{service.mean_batch_size:6.2f}"
+            if service is not None and service.batch_sizes else "     -"
+        )
+        lines.append(
+            f"{point.workers:>7d} {cluster.final_edges:>7d} "
+            f"{merged.executions:>9d} {merged.hub_syncs:>6d} "
+            f"{hub.accepted:>5d}/{hub.duplicates:<6d} "
+            f"{qps[point.workers]:>10.3f} {batch}"
+        )
+    for point in result.points:
+        if point.workers <= 1:
+            continue
+        lines.append(f"  per-worker breakdown ({point.workers} workers):")
+        for worker_id, stats in enumerate(point.result.worker_stats):
+            lines.append(
+                f"    worker {worker_id}: {stats.final_edges:6d} edges, "
+                f"{stats.executions:8d} execs, "
+                f"pushed {stats.hub_pushed}, pulled {stats.hub_pulled}"
+            )
     return "\n".join(lines)
 
 

@@ -52,6 +52,10 @@ class CostModel:
     # inference is served asynchronously off the critical path (§3.4).
     inference_charge: float = 0.0
     triage: float = 20.0 * _SCALED_TEST_COST
+    # One corpus-hub sync round-trip (push + pull against the syz-hub
+    # analogue); a couple of test slots, as a hub RPC plus corpus diff
+    # costs a fleet worker.
+    hub_sync: float = 2.0 * _SCALED_TEST_COST
 
     @classmethod
     def scaled(cls) -> "CostModel":
@@ -69,6 +73,7 @@ class CostModel:
             inference_latency=_PAPER_INFERENCE_LATENCY,
             inference_charge=0.0,
             triage=20.0 * test_cost,
+            hub_sync=2.0 * test_cost,
         )
 
     def blocking_inference(self) -> "CostModel":
@@ -80,6 +85,7 @@ class CostModel:
             inference_latency=self.inference_latency,
             inference_charge=self.inference_latency,
             triage=self.triage,
+            hub_sync=self.hub_sync,
         )
 
 

@@ -37,3 +37,61 @@ class TestCliTrainFuzz:
     def test_fuzz_requires_model_or_baseline(self, capsys):
         code = main(["fuzz", "--size", "small", "--hours", "0.1"])
         assert code == 2
+
+
+class TestCliCluster:
+    def test_fuzz_with_workers(self, capsys):
+        code = main([
+            "fuzz", "--size", "small", "--oracle",
+            "--hours", "0.25", "--seed-corpus", "10",
+            "--workers", "2", "--batch-size", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snowplow x2" in out
+        assert "fleet edges" in out
+        assert "worker 0" in out and "worker 1" in out
+        assert "inference:" in out
+
+    def test_fuzz_baseline_with_workers(self, capsys):
+        code = main([
+            "fuzz", "--size", "small", "--baseline",
+            "--hours", "0.25", "--seed-corpus", "10", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "syzkaller x2" in out
+
+    def test_fuzz_rejects_bad_workers(self, capsys):
+        code = main([
+            "fuzz", "--size", "small", "--baseline",
+            "--hours", "0.1", "--workers", "0",
+        ])
+        assert code == 2
+
+    def test_cluster_sweep(self, capsys):
+        code = main([
+            "cluster", "--size", "small", "--oracle",
+            "--hours", "0.25", "--seed-corpus", "10",
+            "--worker-counts", "1,2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scaling sweep" in out
+        assert "per-worker breakdown (2 workers)" in out
+
+    def test_cluster_rejects_bad_counts(self, capsys):
+        assert main([
+            "cluster", "--size", "small", "--oracle",
+            "--worker-counts", "two",
+        ]) == 2
+        assert main([
+            "cluster", "--size", "small", "--oracle",
+            "--worker-counts", "0,2",
+        ]) == 2
+
+    def test_cluster_requires_model_or_stand_in(self, capsys):
+        code = main([
+            "cluster", "--size", "small", "--worker-counts", "1",
+        ])
+        assert code == 2

@@ -39,6 +39,7 @@ class TestExamplesImportable:
             "examples.directed_fuzzing",
             "examples.train_and_evaluate_pmm",
             "examples.inference_serving",
+            "examples.cluster_campaign",
         ],
     )
     def test_importable_with_main(self, module):

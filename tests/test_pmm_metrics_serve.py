@@ -282,3 +282,160 @@ class TestDegradedService:
         assert clone.stats.submitted == 2
         # The restored slot schedule carries over.
         assert clone.submit("c", now=0.0) == service.submit("c", now=0.0)
+
+
+class TestQueueDelayDistribution:
+    def test_percentiles_and_max(self):
+        from repro.pmm.serve import InferenceStats
+
+        stats = InferenceStats()
+        for delay in (1.0, 2.0, 3.0, 4.0, 10.0):
+            stats.record_queue_delay(delay)
+        assert stats.p50_queue_delay == 3.0
+        assert stats.p95_queue_delay == 10.0
+        assert stats.max_queue_delay == 10.0
+        assert stats.mean_queue_delay == pytest.approx(4.0)
+
+    def test_empty_distribution_is_zero(self):
+        from repro.pmm.serve import InferenceStats
+
+        stats = InferenceStats()
+        assert stats.p50_queue_delay == 0.0
+        assert stats.p95_queue_delay == 0.0
+        assert stats.max_queue_delay == 0.0
+
+    def test_unbatched_service_populates_distribution(self):
+        service = InferenceService(lambda q: q, latency=5.0, servers=1)
+        service.submit("a", now=0.0)
+        service.submit("b", now=0.0)  # queues behind a for 5s
+        assert service.stats.max_queue_delay == 5.0
+        assert service.stats.mean_batch_size == 1.0
+
+
+class TestBatchingService:
+    def _service(self, **kwargs):
+        from repro.pmm.serve import BatchingInferenceService
+
+        defaults = dict(
+            predict_fn=lambda payload: payload,
+            base_latency=6.0,
+            marginal_latency=1.0,
+            max_batch_size=4,
+            batch_timeout=10.0,
+            servers=2,
+        )
+        defaults.update(kwargs)
+        return BatchingInferenceService(**defaults)
+
+    def test_full_batch_dispatches_immediately(self):
+        service = self._service()
+        for name in "abcd":
+            service.submit(name, now=0.0)
+        # latency(4) = 6 + 4*1 = 10; everything lands together.
+        assert service.poll(9.9) == []
+        done = service.poll(10.0)
+        assert [query for query, _ in done] == ["a", "b", "c", "d"]
+        assert service.stats.batch_sizes == {4: 1}
+        assert service.stats.completed == 4
+
+    def test_timeout_flushes_partial_batch(self):
+        service = self._service()
+        service.submit("a", now=0.0)
+        service.submit("b", now=3.0)
+        # Oldest arrival 0.0 + timeout 10 => dispatch at 10, size 2,
+        # latency(2) = 8 => ready 18.
+        assert service.poll(17.9) == []
+        done = service.poll(18.0)
+        assert [query for query, _ in done] == ["a", "b"]
+        assert service.stats.batch_sizes == {2: 1}
+        # Queue delays are dispatch - arrival.
+        assert service.stats.max_queue_delay == 10.0
+        assert service.stats.p50_queue_delay == 7.0
+
+    def test_saturation_beats_unbatched_baseline(self):
+        service = self._service()
+        unbatched = InferenceService(
+            lambda q: q, latency=7.0, servers=2
+        )  # same single-request latency (6 + 1)
+        assert service.latency_of(1) == 7.0
+        assert service.saturation_throughput > unbatched.saturation_throughput
+
+    def test_batches_queue_for_free_slot(self):
+        service = self._service(servers=1)
+        for name in "abcdefgh":  # two full batches, one slot
+            service.submit(name, now=0.0)
+        done = service.poll(10.0)
+        assert len(done) == 4
+        # Second batch starts when the slot frees at 10, ready at 20.
+        assert service.poll(19.9) == []
+        assert len(service.poll(20.0)) == 4
+
+    def test_crashed_slot_loses_whole_batch_and_retries_requeue(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=5).with_window("server_slot", 0.0, 1.0)
+        service = self._service(
+            servers=1, injector=FaultInjector(plan), max_retries=1,
+        )
+        for name in "abcd":
+            service.submit(name, now=0.0)
+        # The batch crashes (detection = latency(4) = 10), all four
+        # re-enqueue as one retry batch dispatched at t=10 — outside the
+        # fault window — and complete at 20.
+        assert service.poll(10.0) == []
+        assert service.stats.slot_crashes == 1
+        assert service.stats.retries == 4
+        done = service.poll(20.0)
+        assert sorted(query for query, _ in done) == ["a", "b", "c", "d"]
+        assert service.drain_failures() == []
+
+    def test_exhausted_batch_retries_surface_failures(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=5).with_window("server_slot", 0.0, 100.0)
+        service = self._service(servers=1, injector=FaultInjector(plan))
+        for name in "abcd":
+            service.submit(name, now=0.0)
+        service.poll(50.0)
+        assert service.stats.failures == 4
+        failed = service.drain_failures()
+        assert sorted(query for query, _ in failed) == ["a", "b", "c", "d"]
+
+    def test_state_roundtrip_drops_pending(self):
+        import json
+
+        service = self._service()
+        service.submit("a", now=0.0)   # still forming a batch
+        for name in "bcde":
+            service.submit(name, now=1.0)  # full batch in flight
+        state = json.loads(json.dumps(service.state_dict()))
+        fresh = self._service()
+        lost = fresh.restore(state)
+        assert lost == 5
+        assert fresh.pending_count() == 0
+        assert fresh.stats.submitted == 5
+        assert fresh.stats.batch_sizes == {4: 1}
+
+    def test_bad_params_rejected(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            self._service(base_latency=0.0)
+        with pytest.raises(ModelError):
+            self._service(marginal_latency=-1.0)
+        with pytest.raises(ModelError):
+            self._service(max_batch_size=0)
+        with pytest.raises(ModelError):
+            self._service(batch_timeout=0.0)
+
+    def test_deterministic_under_replay(self):
+        def run():
+            service = self._service(servers=1)
+            log = []
+            for step in range(40):
+                service.submit(f"q{step}", now=float(step))
+                log.extend(service.poll(float(step)))
+            log.extend(service.poll(1000.0))
+            return [query for query, _ in log], dict(service.stats.batch_sizes)
+
+        assert run() == run()
