@@ -33,6 +33,29 @@ def write_result(name: str, text: str) -> None:
     print(f"\n{text}\n[written to {path}]")
 
 
+def write_metrics(name: str, metrics) -> str:
+    """Dump a metrics snapshot as canonical JSON next to the text table.
+
+    ``metrics`` is either a :class:`~repro.observe.MetricsRegistry` or a
+    plain ``{series: number}`` dict (folded into gauges).  The output is
+    the same ``{counters, gauges, histograms}`` shape ``--observe-dir``
+    exports, so two bench runs compare with ``repro observe diff``.
+    """
+    from repro.observe import MetricsRegistry
+
+    if not isinstance(metrics, MetricsRegistry):
+        registry = MetricsRegistry()
+        for key, value in metrics.items():
+            registry.gauge(str(key)).set(value)
+        metrics = registry
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(metrics.to_json() + "\n")
+    print(f"[metrics written to {path}]")
+    return path
+
+
 @pytest.fixture(scope="session")
 def kernel_68():
     return build_kernel("6.8", seed=1, size="large")

@@ -8,7 +8,7 @@
 
 import numpy as np
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.graphs import AsmVocab, GraphEncoder
 from repro.kernel import Executor
 from repro.pmm import (
@@ -72,6 +72,10 @@ def test_bench_ablation_target_noise(benchmark, kernel_68):
         f"  exact new coverage (option a, rejected):    {exact.f1:.3f}",
     ]
     write_result("ablation_target_noise.txt", "\n".join(lines))
+    write_metrics("ablation_target_noise.json", {
+        "ablation.f1.noisy": noisy.f1,
+        "ablation.f1.exact": exact.f1,
+    })
     # The paper argues (c) trains a more robust model; at minimum the
     # noisy variant must not be much worse.
     assert noisy.f1 > exact.f1 * 0.8
@@ -104,6 +108,12 @@ def test_bench_ablation_pretraining(benchmark, kernel_68):
         f"  F1 with pretraining: {warm.f1:.3f}",
     ]
     write_result("ablation_pretraining.txt", "\n".join(lines))
+    write_metrics("ablation_pretraining.json", {
+        "ablation.mlm_loss.first": losses[0],
+        "ablation.mlm_loss.last": losses[-1],
+        "ablation.f1.scratch": scratch.f1,
+        "ablation.f1.pretrained": warm.f1,
+    })
     assert losses[-1] < losses[0]  # the encoder does learn the corpus
 
 
@@ -142,4 +152,8 @@ def test_bench_ablation_fallback_probability(
         f"  pure PMM (no fallback):      {results['pure-pmm']}",
     ]
     write_result("ablation_fallback.txt", "\n".join(lines))
+    write_metrics("ablation_fallback.json", {
+        "ablation.final_edges.hybrid": results["hybrid"],
+        "ablation.final_edges.pure_pmm": results["pure-pmm"],
+    })
     assert results["hybrid"] > 0 and results["pure-pmm"] > 0

@@ -14,9 +14,11 @@ Runs on a small kernel with the oracle localizer so the CI smoke job
 can afford it; the shapes, not the absolute numbers, are the claims.
 """
 
+import os
+
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import RESULTS_DIR, write_metrics, write_result
 from repro.cluster import ClusterConfig
 from repro.kernel import build_kernel
 from repro.pmm.serve import BatchingInferenceService, InferenceService
@@ -40,7 +42,7 @@ def test_bench_cluster_scaling(benchmark, small_kernel):
         return run_scaling_campaign(
             small_kernel, None, config, worker_counts=(1, 2, 4),
             cluster_config=ClusterConfig(workers=4, sync_interval=300.0),
-            oracle=True,
+            oracle=True, observe=True,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -50,6 +52,14 @@ def test_bench_cluster_scaling(benchmark, small_kernel):
     assert edges[4] > edges[1]
     assert edges[2] > edges[1]
     write_result("cluster_scaling.txt", format_scaling(result))
+    # Full telemetry (Chrome trace, spans, flame, profile) for the
+    # widest fleet, plus its metrics snapshot in diff-able form.
+    widest = result.points[-1]
+    write_metrics("cluster_scaling.json", widest.observer.registry)
+    exported = widest.observer.export(
+        os.path.join(RESULTS_DIR, "cluster_scaling_telemetry")
+    )
+    assert "trace.json" in exported
 
 
 def test_bench_batching_throughput(benchmark):
@@ -107,3 +117,10 @@ def test_bench_batching_throughput(benchmark):
             f"  speedup:   {batched_done / max(plain_done, 1):.2f}x",
         ]),
     )
+    write_metrics("cluster_batching_throughput.json", {
+        "bench.completed.batched": batched_done,
+        "bench.completed.unbatched": plain_done,
+        "bench.mean_batch_size": batched.stats.mean_batch_size,
+        "bench.cap_qps.batched": batched.saturation_throughput,
+        "bench.cap_qps.unbatched": plain.saturation_throughput,
+    })

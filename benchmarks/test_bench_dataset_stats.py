@@ -9,7 +9,7 @@ with the synthetic kernel; the bench reports them side by side.
 
 import numpy as np
 
-from benchmarks.conftest import MUTATIONS_PER_TEST, write_result
+from benchmarks.conftest import MUTATIONS_PER_TEST, write_metrics, write_result
 from repro.graphs import build_query_graph
 from repro.kernel import Executor
 
@@ -57,5 +57,13 @@ def test_bench_dataset_stats(benchmark, kernel_68, trained_68):
         f"eval {stats['evaluation_examples']}",
     ]
     write_result("dataset_stats.txt", "\n".join(lines))
+    write_metrics("dataset_stats.json", {
+        "dataset.base_tests": stats["base_tests"],
+        "dataset.avg_mutation_sites": stats["avg_mutation_sites"],
+        "dataset.success_per_1000": success_rate,
+        "dataset.avg_label_size": stats["avg_label_size"],
+        "dataset.graph_nodes": float(np.mean(graph_nodes)),
+        "dataset.graph_edges": float(np.mean(graph_edges)),
+    })
     assert stats["avg_mutation_sites"] > 10
     assert success_rate > 5

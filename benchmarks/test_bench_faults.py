@@ -9,7 +9,7 @@ coverage while the failure ledger shows every fault class actually
 fired.
 """
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.faults import FaultPlan
 from repro.snowplow import CampaignConfig, run_fault_tolerance_campaign
 
@@ -34,6 +34,7 @@ def test_bench_fault_tolerance(benchmark, kernel_68, trained_68, tmp_path):
             kernel_68, trained_68, config, plan,
             checkpoint_interval=600.0,
             checkpoint_dir=str(tmp_path / "ckpts"),
+            observe=True,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -53,6 +54,14 @@ def test_bench_fault_tolerance(benchmark, kernel_68, trained_68, tmp_path):
         f"{faulted.resumes}",
     ]
     write_result("faults_degradation.txt", "\n".join(lines))
+    # The faulted run's live registry, topped up with the headline
+    # comparison numbers, in the same shape `--observe-dir` exports.
+    registry = result.observer.registry
+    registry.gauge("bench.fault_free_edges").set(
+        float(result.fault_free.final_edges)
+    )
+    registry.gauge("bench.coverage_ratio").set(result.coverage_ratio)
+    write_metrics("faults_degradation.json", registry)
 
     # The faults really happened ...
     assert result.resumed and faulted.resumes >= 1

@@ -15,7 +15,7 @@ fewer repeats than the paper's 5.
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.snowplow import (
     CampaignConfig,
     format_fig6,
@@ -52,6 +52,13 @@ def test_bench_fig6_coverage(
         f"\npaper: +{improvement}% final coverage, {speedup}x speedup"
     )
     write_result(f"fig6_{version.replace('.', '_')}.txt", text)
+    write_metrics(f"fig6_{version.replace('.', '_')}.json", {
+        "fig6.final_mean.syzkaller": result.syzkaller_final_mean,
+        "fig6.final_mean.snowplow": result.snowplow_final_mean,
+        "fig6.improvement_pct": result.coverage_improvement,
+        "fig6.speedup": result.speedup,
+        "fig6.auc_ratio": result.discovery_auc_ratio(),
+    })
     # At laptop training scale the learned model's F1 (~0.36 vs the
     # paper's 84) captures only part of the white-box effect; assert
     # that Snowplow is at least competitive throughout, and see
@@ -75,6 +82,13 @@ def test_bench_fig6_oracle_upper_bound(benchmark, kernel_68, trained_68):
         "trained PMM approaches this with 44M samples)"
     )
     write_result("fig6_oracle_upper_bound.txt", text)
+    write_metrics("fig6_oracle_upper_bound.json", {
+        "fig6.final_mean.syzkaller": result.syzkaller_final_mean,
+        "fig6.final_mean.oracle": result.snowplow_final_mean,
+        "fig6.improvement_pct": result.coverage_improvement,
+        "fig6.speedup": result.speedup,
+        "fig6.auc_ratio": result.discovery_auc_ratio(),
+    })
     assert result.snowplow_final_mean > result.syzkaller_final_mean
     assert result.coverage_improvement > 2.0
     assert result.speedup > 1.5

@@ -9,7 +9,7 @@ the paper-rate cost model.
 
 import numpy as np
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.pmm.serve import InferenceService
 from repro.rng import derive_seed, split
 from repro.snowplow import CampaignConfig
@@ -52,6 +52,10 @@ def test_bench_inference_saturation(benchmark):
         "  mean service latency: 0.69 s (configured)",
     ]
     write_result("perf_inference.txt", "\n".join(lines))
+    write_metrics("perf_inference.json", {
+        "perf.saturation_qps": measured,
+        "perf.pool_capacity_qps": theoretical,
+    })
     assert 50 < measured < 62
 
 
@@ -94,6 +98,11 @@ def test_bench_fuzzing_throughput(benchmark, kernel_68, trained_68):
         f"  ratio: 0.98 -> {ratio:.2f}",
     ]
     write_result("perf_throughput.txt", "\n".join(lines))
+    write_metrics("perf_throughput.json", {
+        "perf.tests_per_s.syzkaller": results["syzkaller"],
+        "perf.tests_per_s.snowplow": results["snowplow"],
+        "perf.throughput_ratio": ratio,
+    })
     # Asynchronous inference must not cost more than a few percent.
     assert ratio > 0.90
 
@@ -132,4 +141,8 @@ def test_bench_async_vs_blocking_ablation(benchmark, kernel_68, trained_68):
         f"  slowdown: {results['async'] / max(results['blocking'], 1e-9):.0f}x",
     ]
     write_result("perf_ablation_async.txt", "\n".join(lines))
+    write_metrics("perf_ablation_async.json", {
+        "perf.tests_per_s.async": results["async"],
+        "perf.tests_per_s.blocking": results["blocking"],
+    })
     assert results["blocking"] < results["async"] / 5

@@ -8,7 +8,7 @@ the random-K baseline by a large factor on every metric (paper ratios:
 
 import numpy as np
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.fuzzer import RandomLocalizer
 from repro.graphs import GraphEncoder
 from repro.pmm import Trainer, TrainConfig, evaluate_selector
@@ -51,6 +51,14 @@ def test_bench_table1_selector(benchmark, kernel_68, trained_68):
         f"(paper 3.8x)"
     )
     write_result("table1_selector.txt", table + ratios)
+    write_metrics("table1_selector.json", {
+        "table1.pmm.f1": pmm_metrics.f1,
+        "table1.pmm.precision": pmm_metrics.precision,
+        "table1.pmm.recall": pmm_metrics.recall,
+        "table1.pmm.jaccard": pmm_metrics.jaccard,
+        "table1.baseline.f1": baseline.f1,
+        "table1.baseline.jaccard": baseline.jaccard,
+    })
     # The paper's shape: the learned selector dominates on every metric.
     assert pmm_metrics.f1 > baseline.f1 * 1.5
     assert pmm_metrics.precision > baseline.precision

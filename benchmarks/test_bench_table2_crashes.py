@@ -12,7 +12,7 @@ Scale: 24 virtual hours per run instead of 7 days, 2 runs.
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.snowplow import (
     CampaignConfig,
     SnowplowConfig,
@@ -49,6 +49,12 @@ def test_bench_table2_crashes(benchmark, crash_campaign):
         "Syzkaller new 0/0, known 8/11"
     )
     write_result("table2_crashes.txt", text)
+    write_metrics("table2_crashes.json", {
+        "table2.snowplow.new_crashes": sum(rows["snowplow_new"]),
+        "table2.snowplow.known_crashes": sum(rows["snowplow_known"]),
+        "table2.syzkaller.new_crashes": sum(rows["syzkaller_new"]),
+        "table2.syzkaller.known_crashes": sum(rows["syzkaller_known"]),
+    })
     # Shape: Snowplow surfaces previously-unknown crashes, and both
     # fuzzers rediscover the known backlog.  (The Snowplow-vs-Syzkaller
     # new-crash comparison is recorded in the table; at laptop scale and
@@ -69,5 +75,9 @@ def test_bench_table3_categories(benchmark, crash_campaign):
     write_result("table3_categories.txt", text)
     assert crashes, "the campaign must surface new crashes"
     with_repro = sum(1 for crash in crashes if crash.has_reproducer)
+    write_metrics("table3_categories.json", {
+        "table3.unique_new_crashes": len(crashes),
+        "table3.with_reproducer": with_repro,
+    })
     # Most (but not all) crashes should reproduce, as in the paper's 66%.
     assert with_repro >= 1

@@ -12,7 +12,7 @@ to the ATA bug by inspecting reproducers for the SCSI ioctl — the
 paper's own attribution method (§5.3.2).
 """
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.fuzzer.crash import CrashTriage
 from repro.kernel import Executor
 from repro.rng import make_rng
@@ -192,5 +192,13 @@ def test_bench_table4_reports(benchmark, kernel_68):
     write_result("table4_reports.txt", "\n".join(lines))
 
     triggered = [row for row in rows if row[3] != "NOT TRIGGERED"]
+    write_metrics("table4_reports.json", {
+        "table4.bugs": len(_TABLE4),
+        "table4.triggered": len(triggered),
+        "table4.reproduced": sum(
+            1 for row in rows if row[3].startswith("reproduced")
+        ),
+        "table4.ata_signatures": len(signatures),
+    })
     assert len(triggered) == len(_TABLE4), rows
     assert len(signatures) >= 3

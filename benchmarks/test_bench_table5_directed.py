@@ -9,7 +9,7 @@ where PMM shines — 8.5x faster on the 19 mutually-reached targets, plus
 
 import numpy as np
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 from repro.snowplow import CampaignConfig, format_table5, run_directed_campaign
 from repro.snowplow.campaign import default_directed_targets
 
@@ -54,6 +54,14 @@ def test_bench_table5_directed(benchmark, kernel_68, trained_68):
     # Snowplow-D is at least competitive in aggregate (the paper's 8.5x
     # comes from a few very hard targets; at this scale we assert the
     # ordering with a noise margin).
+    write_metrics("table5_directed.json", {
+        "table5.targets": len(targets),
+        "table5.reached_any": reached_any,
+        "table5.common_targets": len(both_snow),
+        "table5.snowplow_only": snow_only,
+        "table5.mean_time.syzdirect": float(sum(both_syz)),
+        "table5.mean_time.snowplow_d": float(sum(both_snow)),
+    })
     assert reached_any >= len(targets) // 2
     assert both_snow, "no commonly-reached targets"
     assert sum(both_snow) <= sum(both_syz) * 1.2

@@ -10,14 +10,29 @@ Subcommands mirror the Snowplow workflow::
     python -m repro.cli cluster --kernel 6.8 --oracle --worker-counts 1,2,4
     python -m repro.cli triage --kernel 6.8 --prog crash.syz
     python -m repro.cli exec --kernel 6.8 --prog test.syz
+    python -m repro.cli fuzz --kernel 6.8 --oracle --observe-dir out/
+    python -m repro.cli observe render out/spans.jsonl --chrome trace.json
+    python -m repro.cli observe diff old/metrics.json new/metrics.json
+    python -m repro.cli observe check out/metrics.json --require fuzz.executions
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.kernel import Executor, build_kernel
+from repro.observe import (
+    Observer,
+    chrome_trace,
+    diff_snapshots,
+    flag_regressions,
+    flame_summary,
+    format_diff,
+    load_spans_jsonl,
+)
 from repro.pmm import DatasetConfig, PMMConfig, TrainConfig
 from repro.pmm.checkpoint import load_pmm, save_pmm
 from repro.rng import derive_seed, split
@@ -111,6 +126,13 @@ def _fuzz_config(args, batch_size: int | None = None) -> CampaignConfig:
     )
 
 
+def _export_observer(observer: Observer | None, directory) -> None:
+    if observer is None:
+        return
+    paths = observer.export(directory)
+    print(f"  telemetry: {', '.join(sorted(paths))} -> {directory}")
+
+
 def _cmd_fuzz(args) -> int:
     kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
     if args.workers < 1:
@@ -122,11 +144,12 @@ def _cmd_fuzz(args) -> int:
     trained = _load_trained(args, kernel)
     if trained is None and not (args.baseline or oracle):
         return 2
+    observer = Observer() if args.observe_dir else None
     if args.workers > 1:
         cluster = build_cluster(
             kernel, trained, run_seed, config,
             cluster_config=ClusterConfig(workers=args.workers),
-            baseline=args.baseline, oracle=oracle,
+            baseline=args.baseline, oracle=oracle, observer=observer,
         )
         result = cluster.run()
         stats = result.merged
@@ -149,13 +172,17 @@ def _cmd_fuzz(args) -> int:
         for crash in stats.crashes:
             tag = "NEW" if crash.is_new else "known"
             print(f"  crash [{tag}] {crash.signature}")
+        _export_observer(observer, args.observe_dir)
         return 0
     if args.baseline:
-        loop = _build_syzkaller_loop(kernel, run_seed, config)
+        loop = _build_syzkaller_loop(
+            kernel, run_seed, config, observer=observer
+        )
         label = "syzkaller"
     else:
         loop = _build_snowplow_loop(
-            kernel, trained, run_seed, config, oracle=oracle
+            kernel, trained, run_seed, config, oracle=oracle,
+            observer=observer,
         )
         label = "snowplow"
     seeds = ProgramGenerator(
@@ -172,6 +199,7 @@ def _cmd_fuzz(args) -> int:
     for crash in stats.crashes:
         tag = "NEW" if crash.is_new else "known"
         print(f"  crash [{tag}] {crash.signature}")
+    _export_observer(observer, args.observe_dir)
     return 0
 
 
@@ -199,8 +227,60 @@ def _cmd_cluster(args) -> int:
             workers=max(counts), sync_interval=args.sync_interval
         ),
         baseline=args.baseline, oracle=oracle,
+        observe=bool(args.observe_dir),
     )
     print(format_scaling(result))
+    if args.observe_dir:
+        for point in result.points:
+            _export_observer(
+                point.observer,
+                Path(args.observe_dir) / f"workers{point.workers}",
+            )
+    return 0
+
+
+# ----- telemetry post-processing -----
+
+
+def _cmd_observe_render(args) -> int:
+    tracer = load_spans_jsonl(Path(args.spans).read_text())
+    if args.chrome:
+        Path(args.chrome).write_text(chrome_trace(tracer))
+        print(f"chrome trace written to {args.chrome} "
+              f"(load it in https://ui.perfetto.dev or chrome://tracing)")
+    print(flame_summary(tracer), end="")
+    return 0
+
+
+def _cmd_observe_diff(args) -> int:
+    old = json.loads(Path(args.old).read_text())
+    new = json.loads(Path(args.new).read_text())
+    print(format_diff(diff_snapshots(old, new)), end="")
+    regressions = flag_regressions(old, new, threshold_pct=args.threshold)
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:")
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    return 0
+
+
+def _cmd_observe_check(args) -> int:
+    snapshot = json.loads(Path(args.metrics).read_text())
+    keys: set[str] = set()
+    for kind in ("counters", "gauges", "histograms"):
+        keys.update(snapshot.get(kind, {}))
+    missing = [
+        required for required in args.require
+        if not any(required in key for key in keys)
+    ]
+    for required in missing:
+        print(f"missing expected series: {required!r}", file=sys.stderr)
+    if missing:
+        return 1
+    print(f"all {len(args.require)} expected series present "
+          f"({len(keys)} series in snapshot)")
     return 0
 
 
@@ -282,6 +362,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fleet size; >1 runs a hub-synced cluster")
     p.add_argument("--batch-size", type=int, default=None,
                    help="serving-tier max batch size (1 disables batching)")
+    p.add_argument("--observe-dir", default=None,
+                   help="export trace/metrics/flame telemetry here")
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("cluster", help="run the fleet-size scaling sweep")
@@ -301,7 +383,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="virtual seconds between hub syncs")
     p.add_argument("--batch-size", type=int, default=None,
                    help="serving-tier max batch size (1 disables batching)")
+    p.add_argument("--observe-dir", default=None,
+                   help="export per-fleet-size telemetry under this directory")
     p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser("observe",
+                       help="render, diff, and check exported telemetry")
+    observe_sub = p.add_subparsers(dest="observe_command", required=True)
+    q = observe_sub.add_parser(
+        "render", help="flame summary (and Chrome trace) from a span log"
+    )
+    q.add_argument("spans", help="spans.jsonl produced by --observe-dir")
+    q.add_argument("--chrome", default=None,
+                   help="also write a Chrome/Perfetto trace_event file here")
+    q.set_defaults(func=_cmd_observe_render)
+    q = observe_sub.add_parser(
+        "diff", help="diff two campaigns' metrics.json snapshots"
+    )
+    q.add_argument("old", help="baseline metrics.json")
+    q.add_argument("new", help="candidate metrics.json")
+    q.add_argument("--threshold", type=float, default=10.0,
+                   help="regression threshold in percent (exit 1 beyond it)")
+    q.set_defaults(func=_cmd_observe_diff)
+    q = observe_sub.add_parser(
+        "check", help="assert expected series exist in a metrics.json"
+    )
+    q.add_argument("metrics", help="metrics.json to inspect")
+    q.add_argument("--require", action="append", default=[],
+                   metavar="SUBSTRING",
+                   help="series-key substring that must be present "
+                        "(repeatable; exit 1 if any is missing)")
+    q.set_defaults(func=_cmd_observe_check)
 
     p = sub.add_parser("exec", help="execute a syz-format program")
     _add_kernel_args(p)

@@ -19,10 +19,11 @@ scaling campaigns report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fuzzer.loop import FuzzObservation
 from repro.kernel.coverage import Coverage
+from repro.observe import MetricsRegistry
 from repro.syzlang.parser import parse_program, serialize_program
 from repro.syzlang.program import Program
 
@@ -44,25 +45,72 @@ class HubEntry:
     epoch: int
 
 
-@dataclass
-class HubStats:
-    """Hub-side sync accounting."""
+# Every HubStats counter: a ``hub.<name>`` registry series.
+_HUB_COUNTERS = ("pushes", "accepted", "duplicates", "pulls", "pulled_entries")
 
-    pushes: int = 0
-    accepted: int = 0
-    duplicates: int = 0
-    pulls: int = 0
-    pulled_entries: int = 0
+
+class HubStats:
+    """Hub-side sync accounting (views over ``hub.*`` registry series)."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        labels: dict | None = None,
+        **counters,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels or {})
+        self._instruments = {
+            name: self.registry.counter(f"hub.{name}", **self.labels)
+            for name in _HUB_COUNTERS
+        }
+        for name, value in counters.items():
+            if name not in self._instruments:
+                raise TypeError(f"HubStats got an unexpected counter {name!r}")
+            self._instruments[name].set(value)
+
+    def counter_values(self) -> dict[str, int]:
+        return {
+            name: instrument.value
+            for name, instrument in self._instruments.items()
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HubStats):
+            return NotImplemented
+        return self.counter_values() == other.counter_values()
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={value}"
+            for name, value in self.counter_values().items()
+        )
+        return f"HubStats({body})"
+
+
+def _hub_counter_property(name: str) -> property:
+    def _get(self):
+        return self._instruments[name].value
+
+    def _set(self, value):
+        self._instruments[name].set(value)
+
+    return property(_get, _set, doc=f"view over the hub.{name} series")
+
+
+for _counter_name in _HUB_COUNTERS:
+    setattr(HubStats, _counter_name, _hub_counter_property(_counter_name))
+del _counter_name
 
 
 class CorpusHub:
     """Central corpus exchange with signature dedup and sync epochs."""
 
-    def __init__(self):
+    def __init__(self, registry: MetricsRegistry | None = None):
         self.entries: list[HubEntry] = []
         self.coverage = Coverage()
         self.epoch = 0
-        self.stats = HubStats()
+        self.stats = HubStats(registry=registry)
         # Fleet-union coverage growth, stamped at push time.
         self.timeline: list[FuzzObservation] = []
         self._signatures: set[frozenset] = set()
@@ -150,13 +198,7 @@ class CorpusHub:
                 [obs.time, obs.edges, obs.blocks, obs.executions]
                 for obs in self.timeline
             ],
-            "stats": {
-                "pushes": self.stats.pushes,
-                "accepted": self.stats.accepted,
-                "duplicates": self.stats.duplicates,
-                "pulls": self.stats.pulls,
-                "pulled_entries": self.stats.pulled_entries,
-            },
+            "stats": self.stats.counter_values(),
         }
 
     def restore(self, state: dict, table) -> None:
@@ -187,6 +229,7 @@ class CorpusHub:
             )
             for time, edges, blocks, executions in state["timeline"]
         ]
-        self.stats = HubStats(
-            **{key: int(value) for key, value in state["stats"].items()}
-        )
+        # Restore counters in place so the stats view keeps pointing at
+        # the registry series it was built over.
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, int(value))

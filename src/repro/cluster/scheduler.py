@@ -94,6 +94,7 @@ class ClusterWorker:
         """One hub round-trip: push fresh corpus entries, pull the rest
         of the fleet's, merge their coverage, pay the sync cost."""
         loop = self.loop
+        start = loop.clock.now
         fresh = loop.corpus.entries[self._synced_entries:]
         accepted = self.hub.push(self.worker_id, fresh, loop.clock.now)
         pulled, self.sync_epoch = self.hub.pull(
@@ -110,6 +111,11 @@ class ClusterWorker:
         loop.stats.hub_pushed += accepted
         loop.stats.hub_pulled += len(pulled)
         loop.clock.advance(self.sync_cost, "hub_sync")
+        if loop.tracer is not None:
+            loop.tracer.record(
+                loop.track, "hub_sync", start, loop.clock.now,
+                cat="hub_sync", pushed=accepted, pulled=len(pulled),
+            )
         while self.next_sync <= loop.clock.now:
             self.next_sync += self.sync_interval
 
@@ -183,10 +189,12 @@ class ClusterFuzzer:
         workers: list[ClusterWorker],
         hub: CorpusHub,
         tier: SharedInferenceTier | None = None,
+        observer=None,
     ):
         self.workers = sorted(workers, key=lambda worker: worker.worker_id)
         self.hub = hub
         self.tier = tier
+        self.observer = observer
         self.scheduler = ClusterScheduler(self.workers)
 
     def run_until(self, time: float) -> None:

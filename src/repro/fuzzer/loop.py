@@ -9,7 +9,7 @@ argument localization through asynchronous PMM inference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.fuzzer.engine import MutationEngine, MutationOutcome, MutationType
 from repro.kernel.build import Kernel
 from repro.kernel.coverage import Coverage
 from repro.kernel.executor import Executor
+from repro.observe import LabeledCounterMap, MetricsRegistry, Observer
 from repro.syzlang.program import Program
 from repro.vclock import CostModel, VirtualClock
 
@@ -41,47 +42,130 @@ class FuzzObservation:
     executions: int
 
 
-@dataclass
-class FuzzStats:
-    """Everything a campaign reports about one fuzzer run."""
-
-    observations: list[FuzzObservation] = field(default_factory=list)
-    crashes: list[TriagedCrash] = field(default_factory=list)
-    executions: int = 0
-    mutations: dict[str, int] = field(default_factory=dict)
-    corpus_size: int = 0
+# Every FuzzStats counter, in declaration order.  Each one is a
+# ``fuzz.<name>`` series in the backing metrics registry.
+_FUZZ_COUNTERS = (
+    "executions",
+    "corpus_size",
     # --- resilience accounting (fault-injected campaigns) ---
     # Hung calls the watchdog converted into VM restarts.
-    exec_timeouts: int = 0
-    vm_restarts: int = 0
+    "exec_timeouts",
+    "vm_restarts",
+    # Inference requests submitted to / completed by the serving tier.
+    "inference_submitted",
+    "inference_completed",
     # Inference requests lost to timeouts/slot crashes (incl. in-flight
     # predictions dropped by a checkpoint resume).
-    inference_failures: int = 0
+    "inference_failures",
     # Mutation queries routed to the heuristic localizer because the
     # serving tier rejected the submission (queue full / breaker open).
-    heuristic_fallbacks: int = 0
+    "heuristic_fallbacks",
     # Transient corpus-store write failures that were retried.
-    corpus_write_retries: int = 0
+    "corpus_write_retries",
     # Circuit-breaker visibility, synced from InferenceStats at the end
     # of a Snowplow run.
-    breaker_trips: int = 0
-    breaker_state: str = "closed"
+    "breaker_trips",
     # Times this run was restored from a campaign checkpoint.
-    resumes: int = 0
+    "resumes",
     # --- cluster accounting (repro.cluster) ---
     # Corpus-hub sync round-trips, and entries pushed to / pulled from
     # the hub by this worker.
-    hub_syncs: int = 0
-    hub_pushed: int = 0
-    hub_pulled: int = 0
+    "hub_syncs",
+    "hub_pushed",
+    "hub_pulled",
+)
+
+# Process incidents rather than simulated work: excluded from canonical
+# metric exports so kill+resume runs export byte-identically.
+_DIAGNOSTIC_COUNTERS = frozenset({"resumes"})
+
+
+class FuzzStats:
+    """Everything a campaign reports about one fuzzer run.
+
+    Counter attributes keep the original dataclass surface
+    (``stats.executions += 1``, keyword construction, ``merge``) but are
+    thin views over ``fuzz.*`` series in a
+    :class:`~repro.observe.MetricsRegistry` — pass a shared registry
+    (plus ``labels={"worker": i}`` in a fleet) and the campaign's
+    exported metrics JSON carries every per-worker series with no second
+    bookkeeping path.  The coverage timeline, crash list, and breaker
+    state stay plain attributes: they are structured records, not
+    scalars.
+    """
 
     # Counters that sum when runs are merged (everything except the
     # timeline, crashes, mutations, and breaker state).
-    _SUMMED = (
-        "executions", "corpus_size", "exec_timeouts", "vm_restarts",
-        "inference_failures", "heuristic_fallbacks", "corpus_write_retries",
-        "breaker_trips", "resumes", "hub_syncs", "hub_pushed", "hub_pulled",
-    )
+    _SUMMED = _FUZZ_COUNTERS
+
+    def __init__(
+        self,
+        observations: list[FuzzObservation] | None = None,
+        crashes: list[TriagedCrash] | None = None,
+        mutations: dict[str, int] | None = None,
+        breaker_state: str = "closed",
+        registry: MetricsRegistry | None = None,
+        labels: dict | None = None,
+        **counters,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels or {})
+        self._instruments = {
+            name: self.registry.counter(
+                f"fuzz.{name}",
+                diagnostic=name in _DIAGNOSTIC_COUNTERS,
+                **self.labels,
+            )
+            for name in _FUZZ_COUNTERS
+        }
+        self._mutations = LabeledCounterMap(
+            self.registry, "fuzz.mutations", "type", self.labels
+        )
+        self.observations = list(observations) if observations else []
+        self.crashes = list(crashes) if crashes else []
+        self.breaker_state = breaker_state
+        if mutations:
+            self._mutations.replace(dict(mutations))
+        for name, value in counters.items():
+            if name not in self._instruments:
+                raise TypeError(
+                    f"FuzzStats got an unexpected counter {name!r}"
+                )
+            self._instruments[name].set(value)
+
+    @property
+    def mutations(self):
+        """Per-mutation-type tally (``fuzz.mutations{type=...}`` view)."""
+        return self._mutations
+
+    @mutations.setter
+    def mutations(self, mapping) -> None:
+        self._mutations.replace(dict(mapping))
+
+    def counter_values(self) -> dict[str, int]:
+        return {
+            name: instrument.value
+            for name, instrument in self._instruments.items()
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FuzzStats):
+            return NotImplemented
+        return (
+            self.counter_values() == other.counter_values()
+            and dict(self.mutations) == dict(other.mutations)
+            and self.observations == other.observations
+            and self.crashes == other.crashes
+            and self.breaker_state == other.breaker_state
+        )
+
+    def __repr__(self) -> str:
+        nonzero = ", ".join(
+            f"{name}={value}"
+            for name, value in self.counter_values().items()
+            if value
+        )
+        return f"FuzzStats({nonzero})"
 
     @property
     def final_edges(self) -> int:
@@ -166,6 +250,21 @@ class FuzzStats:
         return merged
 
 
+def _counter_property(name: str) -> property:
+    def _get(self):
+        return self._instruments[name].value
+
+    def _set(self, value):
+        self._instruments[name].set(value)
+
+    return property(_get, _set, doc=f"view over the fuzz.{name} series")
+
+
+for _counter_name in _FUZZ_COUNTERS:
+    setattr(FuzzStats, _counter_name, _counter_property(_counter_name))
+del _counter_name
+
+
 class FuzzLoop:
     """Coverage-guided fuzzing against a synthetic kernel."""
 
@@ -180,6 +279,8 @@ class FuzzLoop:
         rng: np.random.Generator,
         sample_interval: float = 300.0,
         injector: FaultInjector | None = None,
+        observer: Observer | None = None,
+        worker: int = 0,
     ):
         self.kernel = kernel
         self.engine = engine
@@ -197,7 +298,16 @@ class FuzzLoop:
             executor.watchdog = True
         self.corpus = Corpus()
         self.accumulated = Coverage()
-        self.stats = FuzzStats()
+        self.observer = observer
+        self.worker = worker
+        self.track = f"worker{worker}"
+        self.tracer = observer.tracer if observer is not None else None
+        if observer is not None and executor.profiler is None:
+            executor.profiler = observer.profiler
+        self.stats = FuzzStats(
+            registry=observer.registry if observer is not None else None,
+            labels={"worker": worker} if observer is not None else None,
+        )
         self._last_sample = -sample_interval
 
     # ----- setup -----
@@ -240,16 +350,28 @@ class FuzzLoop:
         """Take the final coverage sample and return the run's stats."""
         self._sample(force=True)
         self.stats.corpus_size = len(self.corpus)
+        if self.observer is not None:
+            # Publish the clock's per-label charges as gauges — the
+            # virtual-time breakdown behind the flame summary.
+            for label, seconds in sorted(self.clock.charges.items()):
+                self.observer.registry.gauge(
+                    f"time.{label}", **self.stats.labels
+                ).set(seconds)
         return self.stats
 
     def _iterate(self) -> None:
         """One loop iteration (guaranteed to advance the clock)."""
         self._sample()
         entry = self.corpus.choose(self.rng)
+        start = self.clock.now
         outcome = self.propose_mutation(entry)
-        if outcome is None:
-            return
-        self._run_candidate(entry, outcome)
+        if outcome is not None:
+            self._run_candidate(entry, outcome)
+        if self.tracer is not None:
+            self.tracer.record(
+                self.track, "iteration", start, self.clock.now,
+                cat="iteration",
+            )
 
     def _require_seeded(self) -> None:
         if not self.corpus.entries:
@@ -262,10 +384,17 @@ class FuzzLoop:
         localizer; returning None skips the iteration (time must have
         been charged by the override to guarantee progress).
         """
+        start = self.clock.now
         self.clock.advance(self.cost.mutation, "mutation")
-        return self.engine.mutate_test(
+        outcome = self.engine.mutate_test(
             entry.program, entry.coverage, hints=entry.hints
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.track, "mutate", start, self.clock.now, cat="mutate",
+                type=outcome.mutation_type.value if outcome else "none",
+            )
+        return outcome
 
     # ----- internals -----
 
@@ -280,8 +409,18 @@ class FuzzLoop:
         if result.crash is not None:
             crash = self.triage.observe(outcome.program, result.crash)
             if crash is not None:
+                triage_start = self.clock.now
                 self.clock.advance(self.cost.triage, "triage")
                 self.stats.crashes.append(crash)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        self.track, "triage", triage_start, self.clock.now,
+                        cat="triage",
+                    )
+                    self.tracer.instant(
+                        self.track, "crash", self.clock.now, cat="crash",
+                        signature=crash.signature,
+                    )
         new_edges = result.coverage.new_edges(self.accumulated)
         if new_edges:
             self.accumulated.merge(result.coverage)
@@ -318,6 +457,7 @@ class FuzzLoop:
     def _execute(self, program: Program):
         if self.clock.expired():
             return None
+        start = self.clock.now
         self.clock.advance(self.cost.test_execution, "execution")
         self.stats.executions += 1
         result = self.executor.run(program, now=self.clock.now)
@@ -326,7 +466,15 @@ class FuzzLoop:
             # costs real fleet time (§3.1's snapshot semantics).
             self.stats.exec_timeouts += 1
             self.stats.vm_restarts += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.track, "exec_timeout", self.clock.now, cat="fault",
+                )
             self.clock.advance(self.cost.vm_reset, "vm_restart")
+        if self.tracer is not None:
+            self.tracer.record(
+                self.track, "exec", start, self.clock.now, cat="exec",
+            )
         return result
 
     def _sample(self, force: bool = False) -> None:

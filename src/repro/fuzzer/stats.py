@@ -6,13 +6,21 @@ bursts vs heuristic fallback — is how mutation policies get debugged and
 tuned.  :class:`YieldProbe` wraps any :class:`FuzzLoop` (including
 :class:`SnowplowLoop`) and attributes every new edge to the mutation
 that produced it.
+
+The probe's ledger lives in the loop's
+:class:`~repro.observe.MetricsRegistry` as three labeled counter
+families — ``yield.mutations{class=...}``, ``yield.new_edges{class=...}``,
+``yield.productive{class=...}`` — so yield breakdowns ride along in the
+same exported metrics snapshot as everything else.  :class:`MutationYield`
+stays the public per-class view.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fuzzer.loop import FuzzLoop
+from repro.observe import LabeledCounterMap, MetricsRegistry
 
 __all__ = ["MutationYield", "YieldProbe"]
 
@@ -34,7 +42,6 @@ class MutationYield:
         return self.productive / self.mutations if self.mutations else 0.0
 
 
-@dataclass
 class YieldProbe:
     """Attaches to a loop and breaks down coverage yield by mutation.
 
@@ -49,11 +56,49 @@ class YieldProbe:
     ``argument_mutation(guided)`` and ``argument_mutation``.
     """
 
-    yields: dict[str, MutationYield] = field(default_factory=dict)
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        labels: dict | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels or {})
+        self._mutations = LabeledCounterMap(
+            self.registry, "yield.mutations", "class", self.labels
+        )
+        self._new_edges = LabeledCounterMap(
+            self.registry, "yield.new_edges", "class", self.labels
+        )
+        self._productive = LabeledCounterMap(
+            self.registry, "yield.productive", "class", self.labels
+        )
+
+    @property
+    def yields(self) -> dict[str, MutationYield]:
+        """Per-class views assembled from the registry series."""
+        return {
+            key: MutationYield(
+                mutations=self._mutations.get(key, 0),
+                new_edges=self._new_edges.get(key, 0),
+                productive=self._productive.get(key, 0),
+            )
+            for key in sorted(self._mutations)
+        }
+
+    def record(self, key: str, gained: int) -> None:
+        """Book one mutation of class ``key`` that found ``gained`` edges."""
+        self._mutations[key] = self._mutations.get(key, 0) + 1
+        self._new_edges[key] = self._new_edges.get(key, 0) + gained
+        if gained:
+            self._productive[key] = self._productive.get(key, 0) + 1
+        elif key not in self._productive:
+            self._productive[key] = 0
 
     @classmethod
     def attach(cls, loop: FuzzLoop) -> "YieldProbe":
-        probe = cls()
+        # Sharing the loop's registry (and worker labels) folds the
+        # yield families into the loop's own exported snapshot.
+        probe = cls(registry=loop.stats.registry, labels=loop.stats.labels)
         original = loop._run_candidate
 
         def instrumented(entry, outcome):
@@ -66,11 +111,7 @@ class YieldProbe:
             key = outcome.mutation_type.value
             if key == "argument_mutation" and guided:
                 key = "argument_mutation(guided)"
-            bucket = probe.yields.setdefault(key, MutationYield())
-            bucket.mutations += 1
-            bucket.new_edges += gained
-            if gained:
-                bucket.productive += 1
+            probe.record(key, gained)
 
         loop._run_candidate = instrumented  # type: ignore[method-assign]
         return probe
@@ -81,8 +122,7 @@ class YieldProbe:
             f"{'mutation class':<28}{'n':>8}{'new edges':>11}"
             f"{'edges/mut':>11}{'hit rate':>10}"
         ]
-        for key in sorted(self.yields):
-            y = self.yields[key]
+        for key, y in self.yields.items():
             lines.append(
                 f"{key:<28}{y.mutations:>8}{y.new_edges:>11}"
                 f"{y.edges_per_mutation:>11.4f}{y.hit_rate:>10.4f}"

@@ -96,6 +96,7 @@ class Executor:
         seed: int = 0,
         injector: FaultInjector | None = None,
         watchdog: bool | None = None,
+        profiler=None,
     ):
         if not 0.0 <= noise <= 1.0:
             raise ExecutionError(f"noise must be in [0, 1], got {noise}")
@@ -106,6 +107,7 @@ class Executor:
         # bare executor keeps raising so malformed CFGs stay loud.
         self.watchdog = (injector is not None) if watchdog is None else watchdog
         self.vm_restarts = 0
+        self.profiler = profiler
         self._rng = make_rng(seed)
 
     def run(self, program: Program, now: float = 0.0) -> ExecResult:
@@ -115,6 +117,12 @@ class Executor:
         fault injector's outage windows (the executor itself never
         advances the clock).
         """
+        if self.profiler is None:
+            return self._run(program, now)
+        with self.profiler.section("executor.run"):
+            return self._run(program, now)
+
+    def _run(self, program: Program, now: float) -> ExecResult:
         state = KernelState()
         retvals: list[int] = []
         call_traces: list[list[int]] = []

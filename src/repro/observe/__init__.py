@@ -1,0 +1,125 @@
+"""repro.observe — deterministic tracing, metrics, and profiling.
+
+One :class:`Observer` rides along with a campaign and bundles the three
+instruments the stack shares:
+
+- ``observer.registry`` — the :class:`MetricsRegistry` every stats view
+  (``FuzzStats``, ``InferenceStats``, ``HubStats``, ``YieldProbe``)
+  emits through;
+- ``observer.tracer`` — hierarchical virtual-time spans
+  (campaign → worker → iteration → mutate/exec/inference/triage/
+  hub_sync/checkpoint) with instants for faults, breaker trips, and
+  crash hits;
+- ``observer.profiler`` — wall+virtual attribution for hot paths
+  (graph build, GNN forward, executor stepping).
+
+Everything except profiler wall time is a pure function of the campaign
+seed, so exports are byte-identical across same-seed runs and across
+kill+resume (the observer state travels inside checkpoints).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .diff import (
+    Delta,
+    Regression,
+    diff_snapshots,
+    flag_regressions,
+    format_diff,
+)
+from .export import chrome_trace, flame_summary, load_spans_jsonl, spans_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounterMap,
+    MetricsRegistry,
+    series_key,
+)
+from .profile import Profiler
+from .trace import Instant, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Delta",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "LabeledCounterMap",
+    "MetricsRegistry",
+    "Observer",
+    "Profiler",
+    "Regression",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "diff_snapshots",
+    "flag_regressions",
+    "flame_summary",
+    "format_diff",
+    "load_spans_jsonl",
+    "series_key",
+    "spans_jsonl",
+]
+
+
+class Observer:
+    """Registry + tracer + profiler for one campaign."""
+
+    #: filenames written by :meth:`export`
+    TRACE_FILE = "trace.json"
+    SPANS_FILE = "spans.jsonl"
+    METRICS_FILE = "metrics.json"
+    FLAME_FILE = "flame.txt"
+    PROFILE_FILE = "profile.txt"
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.profiler = profiler if profiler is not None else Profiler()
+
+    # ----- exports -----
+
+    def export(self, directory) -> dict[str, Path]:
+        """Write all artifacts; returns ``{artifact_name: path}``.
+
+        ``trace.json``/``spans.jsonl``/``metrics.json``/``flame.txt``
+        are canonical (byte-reproducible from the seed);
+        ``profile.txt`` includes wall time and is diagnostic only.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {}
+        for name, content in (
+            (self.TRACE_FILE, chrome_trace(self.tracer)),
+            (self.SPANS_FILE, spans_jsonl(self.tracer)),
+            (self.METRICS_FILE, self.registry.to_json()),
+            (self.FLAME_FILE, flame_summary(self.tracer)),
+            (self.PROFILE_FILE, self.profiler.report()),
+        ):
+            path = directory / name
+            path.write_text(content)
+            paths[name] = path
+        return paths
+
+    # ----- checkpointing -----
+
+    def state_dict(self) -> dict:
+        # The profiler is deliberately absent: wall time cannot be
+        # restored meaningfully, and virtual attribution is re-derivable
+        # from the clock charges it mirrors.
+        return {
+            "registry": self.registry.state_dict(),
+            "tracer": self.tracer.state_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.registry.restore(state["registry"])
+        self.tracer.restore(state["tracer"])

@@ -1,0 +1,129 @@
+"""Diff two campaigns' metric snapshots and flag regressions.
+
+Works on the canonical snapshot dicts produced by
+``MetricsRegistry.snapshot()`` (or loaded back from the exported
+``metrics.json``).  Direction heuristics encode which way is bad for a
+series: queue delays, failures, timeouts, restarts going *up* is a
+regression; executions, new edges, completions going *down* is one.
+Series matching neither list are reported in the diff but never
+flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Delta",
+    "Regression",
+    "diff_snapshots",
+    "flag_regressions",
+    "format_diff",
+]
+
+# Substring heuristics over series keys.
+_HIGHER_IS_WORSE = (
+    "delay", "latency", "failures", "timeouts", "retries", "rejected",
+    "rejections", "slot_crashes", "breaker_trips", "vm_restarts",
+    "exec_timeouts", "duplicates", "fallbacks", "write_retries",
+)
+_LOWER_IS_WORSE = (
+    "executions", "completed", "accepted", "new_edges", "corpus_size",
+    "productive", "pushed", "pulled",
+)
+
+
+@dataclass(frozen=True)
+class Delta:
+    key: str
+    kind: str            # counter | gauge | histogram
+    old: float
+    new: float
+
+    @property
+    def change(self) -> float:
+        return self.new - self.old
+
+    @property
+    def pct(self) -> float:
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old) * 100.0
+
+
+@dataclass(frozen=True)
+class Regression:
+    delta: Delta
+    direction: str       # "higher-is-worse" | "lower-is-worse"
+
+    def describe(self) -> str:
+        pct = self.delta.pct
+        rendered = "new" if pct == float("inf") else f"{pct:+.1f}%"
+        return (
+            f"{self.delta.key} [{self.delta.kind}] "
+            f"{self.delta.old} -> {self.delta.new} ({rendered}, "
+            f"{self.direction})"
+        )
+
+
+def _flatten(snapshot: dict) -> dict[str, tuple[str, float]]:
+    flat: dict[str, tuple[str, float]] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        flat[key] = ("counter", value)
+    for key, value in snapshot.get("gauges", {}).items():
+        flat[key] = ("gauge", value)
+    for key, body in snapshot.get("histograms", {}).items():
+        # Compare histograms on their tail latency — the quantity the
+        # paper's serving experiments (and ours) actually optimise.
+        flat[f"{key}/p95"] = ("histogram", body["p95"])
+        flat[f"{key}/count"] = ("histogram", body["count"])
+    return flat
+
+
+def diff_snapshots(old: dict, new: dict) -> list[Delta]:
+    """All series whose value differs (absent treated as 0)."""
+    flat_old = _flatten(old)
+    flat_new = _flatten(new)
+    deltas = []
+    for key in sorted(set(flat_old) | set(flat_new)):
+        kind_old, value_old = flat_old.get(key, (None, 0))
+        kind_new, value_new = flat_new.get(key, (None, 0))
+        if value_old != value_new:
+            deltas.append(Delta(key, kind_new or kind_old, value_old, value_new))
+    return deltas
+
+
+def flag_regressions(
+    old: dict, new: dict, threshold_pct: float = 10.0
+) -> list[Regression]:
+    """Deltas that moved in the bad direction by more than the threshold."""
+    regressions = []
+    for delta in diff_snapshots(old, new):
+        worse_up = any(tag in delta.key for tag in _HIGHER_IS_WORSE)
+        worse_down = not worse_up and any(
+            tag in delta.key for tag in _LOWER_IS_WORSE
+        )
+        exceeded = delta.pct == float("inf") or abs(delta.pct) > threshold_pct
+        if worse_up and delta.change > 0 and exceeded:
+            regressions.append(Regression(delta, "higher-is-worse"))
+        elif worse_down and delta.change < 0 and exceeded:
+            regressions.append(Regression(delta, "lower-is-worse"))
+    return regressions
+
+
+def format_diff(deltas: list[Delta]) -> str:
+    if not deltas:
+        return "no metric changes\n"
+    key_width = max(len(delta.key) for delta in deltas)
+    key_width = max(key_width, len("series"))
+    lines = [
+        f"{'series':<{key_width}}  {'old':>12}  {'new':>12}  {'change':>10}"
+    ]
+    for delta in deltas:
+        pct = delta.pct
+        rendered = "new" if pct == float("inf") else f"{pct:+.1f}%"
+        lines.append(
+            f"{delta.key:<{key_width}}  {delta.old:>12}  {delta.new:>12}  "
+            f"{rendered:>10}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,192 @@
+"""Exporters: JSONL span log, Chrome ``trace_event`` JSON, flame summary.
+
+Each exporter is a pure function of a :class:`~repro.observe.trace.Tracer`
+(and, for metrics, a registry snapshot), serialised with sorted keys and
+fixed separators so equal inputs produce byte-identical output — the
+determinism tests compare these bytes directly.
+
+The Chrome export targets the legacy JSON ``trace_event`` format that
+both ``chrome://tracing`` and https://ui.perfetto.dev load natively:
+complete ("X") events with microsecond ``ts``/``dur`` per thread, plus
+instant ("i") events for faults/crashes/breaker trips.  Virtual seconds
+map to trace microseconds 1:1e6; each tracer track becomes a named
+thread of a single ``repro`` process, and nesting falls out of time
+containment.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .trace import Instant, Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "flame_summary",
+    "load_spans_jsonl",
+    "spans_jsonl",
+]
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, **_JSON_KW)
+
+
+# ----- JSONL span log -----
+
+def spans_jsonl(tracer: Tracer) -> str:
+    """One JSON object per line, spans and instants in recording order."""
+    lines = []
+    for event in tracer.events():
+        if isinstance(event, Span):
+            lines.append(_dumps({
+                "type": "span",
+                "track": event.track,
+                "name": event.name,
+                "cat": event.cat,
+                "start": event.start,
+                "end": event.end,
+                "args": event.args,
+                "seq": event.seq,
+            }))
+        else:
+            lines.append(_dumps({
+                "type": "instant",
+                "track": event.track,
+                "name": event.name,
+                "cat": event.cat,
+                "time": event.time,
+                "args": event.args,
+                "seq": event.seq,
+            }))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_spans_jsonl(text: str) -> Tracer:
+    """Rebuild a tracer from :func:`spans_jsonl` output (CLI render path)."""
+    tracer = Tracer()
+    max_seq = -1
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        seq = int(entry.get("seq", 0))
+        max_seq = max(max_seq, seq)
+        if entry["type"] == "span":
+            tracer.spans.append(Span(
+                entry["track"], entry["name"], entry["start"], entry["end"],
+                entry.get("cat", "phase"), dict(entry.get("args", {})), seq,
+            ))
+        elif entry["type"] == "instant":
+            tracer.instants.append(Instant(
+                entry["track"], entry["name"], entry["time"],
+                entry.get("cat", "event"), dict(entry.get("args", {})), seq,
+            ))
+        else:
+            raise ValueError(f"unknown span-log record type {entry['type']!r}")
+    tracer._seq = max_seq + 1
+    return tracer
+
+
+# ----- Chrome trace_event -----
+
+def _micros(seconds: float) -> float:
+    micros = seconds * 1e6
+    # Integral microseconds render as ints (smaller, stable files).
+    return int(micros) if micros == int(micros) else micros
+
+
+def chrome_trace(tracer: Tracer) -> str:
+    """Chrome ``trace_event`` JSON (loads in chrome://tracing / Perfetto)."""
+    trace_events = []
+    tids = {track: tid for tid, track in enumerate(tracer.tracks())}
+    for track, tid in tids.items():
+        trace_events.append({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": track},
+        })
+    for event in tracer.events():
+        if isinstance(event, Span):
+            trace_events.append({
+                "ph": "X",
+                "name": event.name,
+                "cat": event.cat,
+                "pid": 1,
+                "tid": tids[event.track],
+                "ts": _micros(event.start),
+                "dur": _micros(event.duration),
+                "args": event.args,
+            })
+        else:
+            trace_events.append({
+                "ph": "i",
+                "s": "t",
+                "name": event.name,
+                "cat": event.cat,
+                "pid": 1,
+                "tid": tids[event.track],
+                "ts": _micros(event.time),
+                "args": event.args,
+            })
+    return _dumps({
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "unit": "1us = 1 virtual microsecond"},
+        "traceEvents": trace_events,
+    })
+
+
+# ----- flame summary -----
+
+def flame_summary(tracer: Tracer) -> str:
+    """Text table of virtual time per span name per track.
+
+    The poor-terminal's flame graph: for every track, how the simulated
+    seconds split across phases, with self-time semantics left to the
+    reader (nested spans both count — the table says so).
+    """
+    per_track: dict[str, dict[str, list]] = {}
+    bounds: dict[str, list] = {}
+    for span in tracer.spans:
+        phases = per_track.setdefault(span.track, {})
+        entry = phases.setdefault(span.name, [0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration
+        bound = bounds.setdefault(span.track, [span.start, span.end])
+        bound[0] = min(bound[0], span.start)
+        bound[1] = max(bound[1], span.end)
+
+    lines = [
+        "flame summary (virtual seconds; nested spans each count in full)",
+        "",
+    ]
+    if not per_track:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines) + "\n"
+    name_width = max(
+        len(name) for phases in per_track.values() for name in phases
+    )
+    name_width = max(name_width, len("span"))
+    for track in sorted(per_track):
+        lo, hi = bounds[track]
+        wall = hi - lo
+        lines.append(f"track {track}  (virtual span {lo:.3f}s .. {hi:.3f}s)")
+        lines.append(
+            f"  {'span':<{name_width}}  {'count':>7}  {'total_s':>10}  {'share':>6}"
+        )
+        phases = per_track[track]
+        ordered = sorted(
+            phases.items(), key=lambda item: (-item[1][1], item[0])
+        )
+        for name, (count, total) in ordered:
+            share = (total / wall * 100.0) if wall > 0 else 0.0
+            lines.append(
+                f"  {name:<{name_width}}  {count:>7}  {total:>10.3f}  {share:>5.1f}%"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"

@@ -1,0 +1,138 @@
+"""Deterministic hierarchical tracing over virtual time.
+
+A :class:`Tracer` collects *complete* spans — a named interval of
+virtual seconds on a track — and *instant* events (faults, breaker
+trips, crash hits).  Tracks map to the simulated fleet: one per worker
+(``worker0`` … ``workerN``), one for the shared serving tier
+(``serve``), one for the campaign harness (``campaign``).
+
+There are no explicit parent ids: spans nest by time containment within
+a track, which is exactly how the Chrome ``trace_event`` viewer stacks
+"X" events on a thread.  An iteration span on ``worker2`` contains its
+mutate/exec/triage spans because the virtual clock says so, and the
+exported trace shows the same hierarchy Perfetto would reconstruct.
+
+All timestamps are virtual seconds from the worker clocks, so a trace
+is a pure function of the campaign seed: same seed, byte-identical
+trace; a tracer restored from a checkpoint continues the same event
+sequence the captured one would have produced.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Instant", "Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A completed interval of virtual time on a track."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+    cat: str = "phase"
+    args: dict = field(default_factory=dict)
+    seq: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on a track (fault, breaker trip, crash hit...)."""
+
+    track: str
+    name: str
+    time: float
+    cat: str = "event"
+    args: dict = field(default_factory=dict)
+    seq: int = 0
+
+
+class Tracer:
+    """Collects spans and instants in deterministic recording order."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def record(
+        self,
+        track: str,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "phase",
+        **args,
+    ) -> Span:
+        span = Span(track, name, start, end, cat, args, self._next_seq())
+        self.spans.append(span)
+        return span
+
+    def instant(
+        self, track: str, name: str, time: float, cat: str = "event", **args
+    ) -> Instant:
+        event = Instant(track, name, time, cat, args, self._next_seq())
+        self.instants.append(event)
+        return event
+
+    @contextmanager
+    def span(self, track: str, name: str, clock, cat: str = "phase", **args):
+        """Record a span covering the virtual time the body advances."""
+        start = clock.now
+        try:
+            yield
+        finally:
+            self.record(track, name, start, clock.now, cat, **args)
+
+    def tracks(self) -> list[str]:
+        seen = {span.track for span in self.spans}
+        seen.update(event.track for event in self.instants)
+        return sorted(seen)
+
+    def events(self):
+        """Spans and instants interleaved in recording order."""
+        merged = list(self.spans) + list(self.instants)
+        merged.sort(key=lambda event: event.seq)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    # ----- checkpointing -----
+
+    def state_dict(self) -> dict:
+        return {
+            "seq": self._seq,
+            "spans": [
+                [s.track, s.name, s.start, s.end, s.cat, s.args, s.seq]
+                for s in self.spans
+            ],
+            "instants": [
+                [e.track, e.name, e.time, e.cat, e.args, e.seq]
+                for e in self.instants
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._seq = int(state["seq"])
+        self.spans = [
+            Span(track, name, start, end, cat, dict(args), seq)
+            for track, name, start, end, cat, args, seq in state["spans"]
+        ]
+        self.instants = [
+            Instant(track, name, time, cat, dict(args), seq)
+            for track, name, time, cat, args, seq in state["instants"]
+        ]

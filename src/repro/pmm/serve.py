@@ -42,11 +42,11 @@ batch; retries re-enqueue the member requests individually.
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass, field
 
 from repro.errors import InferenceTimeout, ModelError
 from repro.faults import CircuitBreaker, FaultInjector
+from repro.observe import LabeledCounterMap, MetricsRegistry, Tracer
 
 __all__ = [
     "BatchingInferenceService",
@@ -59,35 +59,88 @@ __all__ = [
 TIMEOUT = "timeout"
 SLOT_CRASH = "slot_crash"
 
+# Every InferenceStats counter: a ``serve.<name>`` registry series.
+_SERVE_COUNTERS = (
+    "submitted",
+    "completed",
+    "rejected",
+    "breaker_rejections",
+    "timeouts",
+    "slot_crashes",
+    "retries",
+    "failures",
+    "breaker_trips",
+)
 
-@dataclass
+
 class InferenceStats:
     """Serving counters for the §5.5 characterisation.
 
     ``rejected`` counts queue-full rejections (previously silent),
     ``breaker_rejections`` counts submissions refused by an open
     circuit breaker; both send the fuzzer down its heuristic path.
+
+    Backed by a :class:`~repro.observe.MetricsRegistry`: counters are
+    ``serve.*`` series, the queue-delay distribution is a streaming
+    histogram (``serve.queue_delay`` — p50/p95/p99 without storing
+    samples), and the dispatched-batch-size histogram is the labeled
+    family ``serve.batches{size=...}``.  The attribute surface of the
+    old dataclass is preserved as thin views.
     """
 
-    submitted: int = 0
-    completed: int = 0
-    rejected: int = 0
-    breaker_rejections: int = 0
-    timeouts: int = 0
-    slot_crashes: int = 0
-    retries: int = 0
-    failures: int = 0
-    breaker_trips: int = 0
-    breaker_state: str = "closed"
-    total_latency: float = 0.0
-    total_queue_delay: float = 0.0
-    # One entry per dispatched request (per attempt under batching), so
-    # the tail of the queueing distribution is observable, not just the
-    # mean.
-    queue_delays: list[float] = field(default_factory=list)
-    # Dispatched-batch-size histogram: {batch size: batches dispatched}.
-    # The unbatched service dispatches every request as a batch of one.
-    batch_sizes: dict[int, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        labels: dict | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels or {})
+        self._instruments = {
+            name: self.registry.counter(f"serve.{name}", **self.labels)
+            for name in _SERVE_COUNTERS
+        }
+        self._latency = self.registry.counter(
+            "serve.total_latency", **self.labels
+        )
+        # One sample per dispatched request (per attempt under batching),
+        # so the tail of the queueing distribution is observable, not
+        # just the mean.
+        self._queue_delay = self.registry.histogram(
+            "serve.queue_delay", **self.labels
+        )
+        # The unbatched service dispatches every request as a batch of 1.
+        self._batch_sizes = LabeledCounterMap(
+            self.registry, "serve.batches", "size", self.labels, key_type=int
+        )
+        self.breaker_state = "closed"
+
+    @property
+    def total_latency(self) -> float:
+        return self._latency.value
+
+    @total_latency.setter
+    def total_latency(self, value: float) -> None:
+        self._latency.set(value)
+
+    @property
+    def total_queue_delay(self) -> float:
+        return self._queue_delay.total
+
+    @property
+    def queue_delay(self):
+        """The underlying streaming histogram (``serve.queue_delay``)."""
+        return self._queue_delay
+
+    @property
+    def batch_sizes(self):
+        """{batch size: batches dispatched} view."""
+        return self._batch_sizes
+
+    @batch_sizes.setter
+    def batch_sizes(self, mapping) -> None:
+        self._batch_sizes.replace(
+            {int(size): count for size, count in mapping.items()}
+        )
 
     @property
     def mean_latency(self) -> float:
@@ -97,46 +150,81 @@ class InferenceStats:
     @property
     def mean_queue_delay(self) -> float:
         """Mean wait for dispatch, over all dispatched requests."""
-        if self.queue_delays:
-            return self.total_queue_delay / len(self.queue_delays)
-        return (
-            self.total_queue_delay / self.submitted if self.submitted else 0.0
-        )
+        return self._queue_delay.mean
 
     @property
     def p50_queue_delay(self) -> float:
-        return self._queue_delay_quantile(0.50)
+        return self._queue_delay.p50
 
     @property
     def p95_queue_delay(self) -> float:
-        return self._queue_delay_quantile(0.95)
+        return self._queue_delay.p95
+
+    @property
+    def p99_queue_delay(self) -> float:
+        return self._queue_delay.p99
 
     @property
     def max_queue_delay(self) -> float:
-        return max(self.queue_delays) if self.queue_delays else 0.0
+        return self._queue_delay.vmax
 
     @property
     def mean_batch_size(self) -> float:
         """Mean size of dispatched batches (1.0 for unbatched serving)."""
-        batches = sum(self.batch_sizes.values())
+        sizes = dict(self._batch_sizes)
+        batches = sum(sizes.values())
         if not batches:
             return 0.0
-        weighted = sum(size * count for size, count in self.batch_sizes.items())
+        weighted = sum(size * count for size, count in sizes.items())
         return weighted / batches
 
-    def _queue_delay_quantile(self, quantile: float) -> float:
-        if not self.queue_delays:
-            return 0.0
-        ordered = sorted(self.queue_delays)
-        index = max(0, math.ceil(quantile * len(ordered)) - 1)
-        return ordered[min(index, len(ordered) - 1)]
-
     def record_queue_delay(self, delay: float) -> None:
-        self.total_queue_delay += delay
-        self.queue_delays.append(delay)
+        # Cross-worker virtual-clock skew in a shared tier can dispatch
+        # a batch marginally "before" a laggard's request arrived; the
+        # distribution tracks real waiting, so skew clamps to zero.
+        self._queue_delay.add(max(0.0, delay))
 
     def record_batch(self, size: int) -> None:
-        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+
+    # ----- checkpointing -----
+
+    def state_dict(self) -> dict:
+        return {
+            "counters": {
+                name: instrument.value
+                for name, instrument in self._instruments.items()
+            },
+            "breaker_state": self.breaker_state,
+            "total_latency": self.total_latency,
+            "queue_delay": self._queue_delay.state_dict(),
+            "batch_sizes": {
+                str(size): count for size, count in self._batch_sizes.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for name, value in state["counters"].items():
+            self._instruments[name].set(value)
+        self.breaker_state = state["breaker_state"]
+        self.total_latency = float(state["total_latency"])
+        self._queue_delay.restore(state["queue_delay"])
+        self.batch_sizes = state["batch_sizes"]
+
+
+def _serve_counter_property(name: str) -> property:
+    def _get(self):
+        return self._instruments[name].value
+
+    def _set(self, value):
+        self._instruments[name].set(value)
+
+    return property(_get, _set, doc=f"view over the serve.{name} series")
+
+
+for _counter_name in _SERVE_COUNTERS:
+    setattr(InferenceStats, _counter_name, _serve_counter_property(_counter_name))
+del _counter_name
 
 
 @dataclass(order=True)
@@ -167,6 +255,10 @@ class InferenceService:
         injector: FaultInjector | None = None,
         breaker: CircuitBreaker | None = None,
         strict: bool = False,
+        registry: MetricsRegistry | None = None,
+        labels: dict | None = None,
+        tracer: Tracer | None = None,
+        track: str = "serve",
     ):
         if latency <= 0:
             raise ModelError(f"latency must be positive, got {latency}")
@@ -187,7 +279,9 @@ class InferenceService:
         self.injector = injector
         self.breaker = breaker
         self.strict = strict
-        self.stats = InferenceStats()
+        self.stats = InferenceStats(registry=registry, labels=labels)
+        self.tracer = tracer
+        self.track = track
         self._server_free = [0.0] * servers
         self._pending: list[PendingPrediction] = []
         self._failures: list[tuple[object, str]] = []
@@ -272,6 +366,12 @@ class InferenceService:
                 self.stats.total_latency += item.ready_at - item.submitted_at
                 if self.breaker is not None:
                     self.breaker.record_success(item.ready_at)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        self.track, "inference", item.submitted_at,
+                        item.ready_at, cat="inference",
+                        attempts=item.attempts,
+                    )
                 done.append((item.payload, prediction))
                 continue
             self.stats.failures += 1
@@ -279,8 +379,12 @@ class InferenceService:
                 self.stats.timeouts += 1
             else:
                 self.stats.slot_crashes += 1
-            if self.breaker is not None:
-                self.breaker.record_failure(item.ready_at)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.track, "inference_loss", item.ready_at, cat="fault",
+                    kind=item.failure, attempts=item.attempts,
+                )
+            self._record_breaker_failure(item.ready_at)
             self._failures.append((item.payload, item.failure))
             if self.strict:
                 self._sync_breaker()
@@ -311,16 +415,7 @@ class InferenceService:
             "server_free": list(self._server_free),
             "sequence": self._sequence,
             "lost_in_flight": len(self._pending),
-            "stats": {
-                key: getattr(self.stats, key)
-                for key in (
-                    "submitted", "completed", "rejected",
-                    "breaker_rejections", "timeouts", "slot_crashes",
-                    "retries", "failures", "breaker_trips", "breaker_state",
-                    "total_latency", "total_queue_delay", "queue_delays",
-                    "batch_sizes",
-                )
-            },
+            "stats": self.stats.state_dict(),
             "breaker": (
                 self.breaker.state_dict() if self.breaker is not None else None
             ),
@@ -332,13 +427,7 @@ class InferenceService:
         self._sequence = int(state["sequence"])
         self._pending = []
         self._failures = []
-        for key, value in state["stats"].items():
-            if key == "batch_sizes":
-                # JSON stringifies integer keys.
-                value = {int(size): int(count) for size, count in value.items()}
-            elif key == "queue_delays":
-                value = [float(delay) for delay in value]
-            setattr(self.stats, key, value)
+        self.stats.restore_state(state["stats"])
         if state.get("breaker") is not None and self.breaker is not None:
             self.breaker.restore(state["breaker"])
         return int(state.get("lost_in_flight", 0))
@@ -354,6 +443,18 @@ class InferenceService:
         if self.injector.fires("server_slot", start):
             return SLOT_CRASH
         return None
+
+    def _record_breaker_failure(self, time: float) -> None:
+        """Feed the breaker, emitting a trip instant if this failure
+        pushed it open."""
+        if self.breaker is None:
+            return
+        trips_before = self.breaker.trips
+        self.breaker.record_failure(time)
+        if self.tracer is not None and self.breaker.trips > trips_before:
+            self.tracer.instant(
+                self.track, "breaker_trip", time, cat="fault",
+            )
 
     def _sync_breaker(self) -> None:
         if self.breaker is not None:
@@ -382,6 +483,8 @@ class _PendingBatch:
     sequence: int
     requests: list = field(compare=False, default_factory=list)
     failure: str | None = field(compare=False, default=None)
+    # Virtual time the batch started occupying its slot (trace span).
+    started: float = field(compare=False, default=0.0)
 
 
 class BatchingInferenceService(InferenceService):
@@ -421,6 +524,10 @@ class BatchingInferenceService(InferenceService):
         injector: FaultInjector | None = None,
         breaker: CircuitBreaker | None = None,
         strict: bool = False,
+        registry: MetricsRegistry | None = None,
+        labels: dict | None = None,
+        tracer: Tracer | None = None,
+        track: str = "serve",
     ):
         if base_latency <= 0:
             raise ModelError(
@@ -446,6 +553,10 @@ class BatchingInferenceService(InferenceService):
             injector=injector,
             breaker=breaker,
             strict=strict,
+            registry=registry,
+            labels=labels,
+            tracer=tracer,
+            track=track,
         )
         self.base_latency = base_latency
         self.marginal_latency = marginal_latency
@@ -588,7 +699,7 @@ class BatchingInferenceService(InferenceService):
             self._batches,
             _PendingBatch(
                 ready_at=ready, sequence=self._sequence,
-                requests=batch_requests, failure=failure,
+                requests=batch_requests, failure=failure, started=start,
             ),
         )
 
@@ -603,6 +714,12 @@ class BatchingInferenceService(InferenceService):
                 self._completed.append((request.payload, prediction))
             if self.breaker is not None:
                 self.breaker.record_success(batch.ready_at)
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.track, "inference_batch", batch.started,
+                    batch.ready_at, cat="inference",
+                    size=len(batch.requests),
+                )
             return
         # The slot died holding the batch: every member is lost together
         # and retries individually.
@@ -610,8 +727,12 @@ class BatchingInferenceService(InferenceService):
             self.stats.timeouts += 1
         else:
             self.stats.slot_crashes += 1
-        if self.breaker is not None:
-            self.breaker.record_failure(batch.ready_at)
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.track, "batch_lost", batch.ready_at, cat="fault",
+                kind=batch.failure, size=len(batch.requests),
+            )
+        self._record_breaker_failure(batch.ready_at)
         for request in batch.requests:
             if request.attempts < self.max_retries:
                 request.attempts += 1

@@ -45,6 +45,7 @@ from repro.graphs.encode import AsmVocab, GraphEncoder
 from repro.kernel.blocks import BlockRole
 from repro.kernel.build import Kernel
 from repro.kernel.executor import Executor
+from repro.observe import Observer
 from repro.pmm.dataset import DatasetConfig, MutationDataset, harvest_mutations
 from repro.pmm.metrics import SelectorMetrics
 from repro.pmm.serve import BatchingInferenceService, InferenceService
@@ -246,6 +247,8 @@ class CoverageCampaignResult:
 def _build_syzkaller_loop(
     kernel: Kernel, run_seed: int, config: CampaignConfig,
     injector: FaultInjector | None = None,
+    observer: Observer | None = None,
+    worker: int = 0,
 ) -> FuzzLoop:
     executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
     generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
@@ -258,7 +261,7 @@ def _build_syzkaller_loop(
     return FuzzLoop(
         kernel, engine, executor, triage, clock, config.cost,
         split(run_seed, "loop"), sample_interval=config.sample_interval,
-        injector=injector,
+        injector=injector, observer=observer, worker=worker,
     )
 
 
@@ -267,6 +270,8 @@ def _build_snowplow_loop(
     config: CampaignConfig, oracle: bool = False,
     injector: FaultInjector | None = None,
     service=None,
+    observer: Observer | None = None,
+    worker: int = 0,
 ) -> SnowplowLoop:
     executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
     generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
@@ -290,7 +295,8 @@ def _build_snowplow_loop(
         kernel, engine, executor, triage, clock, config.cost,
         split(run_seed, "loop"), sample_interval=config.sample_interval,
         localizer=localizer, snowplow_config=config.snowplow,
-        injector=injector, service=service,
+        injector=injector, service=service, observer=observer,
+        worker=worker,
     )
 
 
@@ -422,6 +428,8 @@ class FaultCampaignResult:
     crash_time: float | None
     checkpoints_taken: int
     resumed: bool
+    # Telemetry of the faulted run (``observe=True`` runs only).
+    observer: Observer | None = None
 
     @property
     def coverage_ratio(self) -> float:
@@ -447,6 +455,7 @@ def run_fault_tolerance_campaign(
     plan: FaultPlan,
     checkpoint_interval: float | None = None,
     checkpoint_dir: str | None = None,
+    observe: bool = False,
 ) -> FaultCampaignResult:
     """Run one seed fault-free and under ``plan``, with checkpoint/resume.
 
@@ -475,10 +484,14 @@ def run_fault_tolerance_campaign(
     clean.seed([program.clone() for program in seeds])
     fault_free = clean.run()
 
-    # Degraded: same seed, same construction, faults injected.
+    # Degraded: same seed, same construction, faults injected.  Only
+    # the faulted loop is observed — an observer shared with the clean
+    # loop would collide on the unlabeled per-worker series.
     injector = FaultInjector(plan)
+    observer = Observer() if observe else None
     loop = _build_snowplow_loop(
-        kernel, trained, run_seed, config, injector=injector
+        kernel, trained, run_seed, config, injector=injector,
+        observer=observer,
     )
     loop.seed([program.clone() for program in seeds])
     store = (
@@ -501,9 +514,14 @@ def run_fault_tolerance_campaign(
         ):
             # The injected crash kills the worker: the live loop (and
             # its in-flight inference) is gone.  Rebuild and resume.
+            # The replacement gets a fresh observer; the checkpoint
+            # carries the telemetry recorded up to the last save, so a
+            # resumed run's exports replay from durable state alone.
+            observer = Observer() if observe else None
             loop = _build_snowplow_loop(
                 kernel, trained, run_seed, config,
                 injector=FaultInjector(plan),
+                observer=observer,
             )
             if last_state is not None:
                 restore_loop_state(loop, last_state)
@@ -516,6 +534,14 @@ def run_fault_tolerance_campaign(
             resumed = True
             continue
         if not loop.clock.expired() and loop.clock.now >= next_checkpoint:
+            # The checkpoint span goes in before the state capture so
+            # the saved telemetry already contains it — a resumed run's
+            # trace then matches an uninterrupted one span for span.
+            if loop.tracer is not None:
+                loop.tracer.instant(
+                    loop.track, "checkpoint", loop.clock.now,
+                    cat="checkpoint", number=checkpoints + 1,
+                )
             last_state = loop_state(loop)
             if store is not None:
                 store.save(last_state)
@@ -530,6 +556,7 @@ def run_fault_tolerance_campaign(
         crash_time=crash_time,
         checkpoints_taken=checkpoints,
         resumed=resumed,
+        observer=observer,
     )
 
 
@@ -540,6 +567,7 @@ def _build_shared_tier(
     kernel: Kernel, trained: TrainedPMM, run_seed: int,
     config: CampaignConfig, oracle: bool = False,
     injector: FaultInjector | None = None,
+    observer: Observer | None = None,
 ) -> SharedInferenceTier:
     """The cluster's central serving tier: one (batching) service whose
     predictor runs the localizer on tagged ``(worker_id, query)``
@@ -555,6 +583,7 @@ def _build_shared_tier(
             Executor(kernel, seed=derive_seed(run_seed, "serve-exec")),
             max_targets=cfg.max_targets,
             threshold=cfg.prediction_threshold,
+            profiler=observer.profiler if observer is not None else None,
         )
     serve_rng = split(run_seed, "serve")
 
@@ -568,6 +597,8 @@ def _build_shared_tier(
         failure_threshold=cfg.breaker_failure_threshold,
         reset_timeout=cfg.breaker_reset_factor * latency,
     )
+    registry = observer.registry if observer is not None else None
+    tracer = observer.tracer if observer is not None else None
     if cfg.max_batch_size > 1:
         service: InferenceService = BatchingInferenceService(
             predict_fn=predict,
@@ -582,6 +613,8 @@ def _build_shared_tier(
             retry_backoff=cfg.retry_backoff_factor * latency,
             injector=injector,
             breaker=breaker,
+            registry=registry,
+            tracer=tracer,
         )
     else:
         service = InferenceService(
@@ -594,6 +627,8 @@ def _build_shared_tier(
             retry_backoff=cfg.retry_backoff_factor * latency,
             injector=injector,
             breaker=breaker,
+            registry=registry,
+            tracer=tracer,
         )
     return SharedInferenceTier(service)
 
@@ -607,6 +642,7 @@ def build_cluster(
     baseline: bool = False,
     oracle: bool = False,
     injector: FaultInjector | None = None,
+    observer: Observer | None = None,
 ) -> ClusterFuzzer:
     """Assemble a seeded, ready-to-run fleet.
 
@@ -621,24 +657,28 @@ def build_cluster(
     seeds = ProgramGenerator(
         kernel.table, split(run_seed, "seed-corpus")
     ).seed_corpus(config.seed_corpus_size)
-    hub = CorpusHub()
+    hub = CorpusHub(
+        registry=observer.registry if observer is not None else None
+    )
     tier = None
     if not baseline:
         tier = _build_shared_tier(
             kernel, trained, run_seed, config, oracle=oracle,
-            injector=injector,
+            injector=injector, observer=observer,
         )
     workers = []
     for index in range(cluster_config.workers):
         worker_seed = derive_seed(run_seed, "worker", index)
         if baseline:
             loop: FuzzLoop = _build_syzkaller_loop(
-                kernel, worker_seed, config, injector=injector
+                kernel, worker_seed, config, injector=injector,
+                observer=observer, worker=index,
             )
         else:
             loop = _build_snowplow_loop(
                 kernel, trained, worker_seed, config, oracle=oracle,
                 injector=injector, service=tier.view(index),
+                observer=observer, worker=index,
             )
         loop.seed([program.clone() for program in seeds])
         workers.append(
@@ -648,7 +688,7 @@ def build_cluster(
                 sync_cost=cluster_config.sync_cost,
             )
         )
-    return ClusterFuzzer(workers, hub, tier=tier)
+    return ClusterFuzzer(workers, hub, tier=tier, observer=observer)
 
 
 @dataclass
@@ -657,6 +697,10 @@ class ScalingPoint:
 
     workers: int
     result: ClusterResult
+    # Telemetry for this fleet size (``observe=True`` runs only); each
+    # point gets a fresh Observer so per-worker series never collide
+    # across fleet sizes.
+    observer: Observer | None = None
 
 
 @dataclass
@@ -690,12 +734,15 @@ def run_scaling_campaign(
     cluster_config: ClusterConfig | None = None,
     baseline: bool = False,
     oracle: bool = False,
+    observe: bool = False,
 ) -> ScalingCampaignResult:
     """Sweep fleet sizes at a fixed per-worker virtual budget.
 
     Every fleet size runs from the same campaign-derived ``run_seed``,
     so the sweep isolates the effect of fleet width (hub sharing plus
-    serving-tier contention) from reseeding noise.
+    serving-tier contention) from reseeding noise.  ``observe=True``
+    attaches a fresh :class:`~repro.observe.Observer` per fleet size;
+    its exports are a pure function of the campaign seed.
     """
     if not worker_counts:
         raise CampaignError("scaling campaign needs at least one fleet size")
@@ -703,6 +750,7 @@ def run_scaling_campaign(
     run_seed = derive_seed(config.seed, "scaling", kernel.version)
     points = []
     for count in worker_counts:
+        observer = Observer() if observe else None
         cluster = build_cluster(
             kernel, trained, run_seed, config,
             cluster_config=ClusterConfig(
@@ -710,9 +758,20 @@ def run_scaling_campaign(
                 sync_interval=base.sync_interval,
                 sync_cost=base.sync_cost,
             ),
-            baseline=baseline, oracle=oracle,
+            baseline=baseline, oracle=oracle, observer=observer,
         )
-        points.append(ScalingPoint(workers=count, result=cluster.run()))
+        result = cluster.run()
+        if observer is not None:
+            end = max(
+                worker.loop.clock.now for worker in cluster.workers
+            )
+            observer.tracer.record(
+                "campaign", f"fleet{count}", 0.0, end,
+                cat="campaign", workers=count,
+            )
+        points.append(
+            ScalingPoint(workers=count, result=result, observer=observer)
+        )
     return ScalingCampaignResult(
         kernel_version=kernel.version,
         horizon=config.horizon,

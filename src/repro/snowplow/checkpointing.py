@@ -45,13 +45,14 @@ __all__ = [
     "save_checkpoint",
 ]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 # Transient checkpoint-store write failures retried before giving up.
 _WRITE_ATTEMPTS = 5
 
 _STATS_COUNTERS = (
     "executions", "corpus_size", "exec_timeouts", "vm_restarts",
+    "inference_submitted", "inference_completed",
     "inference_failures", "heuristic_fallbacks", "corpus_write_retries",
     "breaker_trips", "resumes", "hub_syncs", "hub_pushed", "hub_pulled",
 )
@@ -60,8 +61,13 @@ _STATS_COUNTERS = (
 # ----- capture -----
 
 
-def loop_state(loop: FuzzLoop) -> dict:
-    """Snapshot a (possibly mid-run) fuzz loop as JSON-serializable state."""
+def loop_state(loop: FuzzLoop, include_observer: bool = True) -> dict:
+    """Snapshot a (possibly mid-run) fuzz loop as JSON-serializable state.
+
+    ``include_observer=False`` leaves out the loop's observer (registry
+    plus tracer): cluster checkpoints set it because every worker shares
+    one observer, which :func:`cluster_state` captures exactly once.
+    """
     state = {
         "format_version": _FORMAT_VERSION,
         "kernel_version": loop.kernel.version,
@@ -107,6 +113,9 @@ def loop_state(loop: FuzzLoop) -> dict:
         # which the cluster checkpoint captures once; only a privately
         # owned service is snapshotted with its loop.
         state["service"] = service.state_dict()
+    observer = getattr(loop, "observer", None)
+    if include_observer and observer is not None:
+        state["observer"] = observer.state_dict()
     return state
 
 
@@ -154,6 +163,12 @@ def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
             f"checkpoint is for kernel {state.get('kernel_version')!r}, "
             f"loop runs {loop.kernel.version!r}"
         )
+    # The observer restore goes first: it overwrites whole registry
+    # series wholesale, and everything after (stats counters, the
+    # resume increment, lost-inference booking) must land on top of it.
+    observer = getattr(loop, "observer", None)
+    if "observer" in state and observer is not None:
+        observer.restore(state["observer"])
     clock = state["clock"]
     loop.clock.now = float(clock["now"])
     loop.clock.horizon = float(clock["horizon"])
@@ -180,7 +195,7 @@ def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
         blocks=set(state["accumulated"]["blocks"]),
         edges={tuple(edge) for edge in state["accumulated"]["edges"]},
     )
-    loop.stats = _restore_stats(loop, state["stats"])
+    _restore_stats(loop, state["stats"])
     loop.stats.resumes += 1
     # The triage ledger must match the restored crash list or resumed
     # runs would double-count (or re-suppress) crashes.
@@ -201,7 +216,11 @@ def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
 
 
 def _restore_stats(loop: FuzzLoop, state: dict) -> FuzzStats:
-    stats = FuzzStats()
+    # Restored in place: the stats object's instrument views must keep
+    # pointing at the registry series they were built over.
+    stats = loop.stats
+    stats.observations = []
+    stats.crashes = []
     for key in _STATS_COUNTERS:
         setattr(stats, key, int(state.get(key, 0)))
     stats.breaker_state = str(state["breaker_state"])
@@ -260,7 +279,7 @@ def cluster_state(cluster) -> dict:
                 "next_sync": worker.next_sync,
                 "sync_epoch": worker.sync_epoch,
                 "synced_entries": worker._synced_entries,
-                "loop": loop_state(worker.loop),
+                "loop": loop_state(worker.loop, include_observer=False),
             }
             for worker in workers
         ],
@@ -269,6 +288,11 @@ def cluster_state(cluster) -> dict:
     tier = getattr(cluster, "tier", None)
     if tier is not None:
         state["service"] = tier.service.state_dict()
+    observer = getattr(cluster, "observer", None)
+    if observer is not None:
+        # One observer serves the whole fleet; captured once here, not
+        # once per worker.
+        state["observer"] = observer.state_dict()
     return state
 
 
@@ -292,6 +316,11 @@ def restore_cluster_state(cluster, state: dict) -> int:
             f"checkpoint holds {len(worker_states)} workers, "
             f"cluster was built with {len(workers)}"
         )
+    # Fleet-shared observer first, before per-worker restores layer
+    # their resume increments and lost-inference bookings on top.
+    observer = getattr(cluster, "observer", None)
+    if "observer" in state and observer is not None:
+        observer.restore(state["observer"])
     for worker, worker_state in zip(workers, worker_states):
         if worker.worker_id != worker_state["worker_id"]:
             raise CheckpointError(

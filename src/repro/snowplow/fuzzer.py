@@ -15,6 +15,7 @@ Control flow per iteration:
 from __future__ import annotations
 
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -107,6 +108,7 @@ class PMMLocalizer:
         max_targets: int = 8,
         threshold: float = 0.30,
         cache_size: int = 512,
+        profiler=None,
     ):
         self.model = model
         self.encoder = encoder
@@ -115,7 +117,13 @@ class PMMLocalizer:
         self.max_targets = max_targets
         self.threshold = threshold
         self.cache_size = cache_size
+        self.profiler = profiler
         self._cache: dict = {}
+
+    def _section(self, name: str):
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.section(name)
 
     def localize(
         self,
@@ -136,11 +144,14 @@ class PMMLocalizer:
         cached = self._cache.get(cache_key)
         if cached is not None:
             return list(cached)
-        graph = build_query_graph(program, coverage, self.kernel, targets)
+        with self._section("localizer.graph_build"):
+            graph = build_query_graph(program, coverage, self.kernel, targets)
         if not graph.mutable_argument_nodes():
             return []
-        encoded = self.encoder.encode(graph)
-        paths = self.model.predict_paths(encoded, threshold=self.threshold)
+        with self._section("localizer.encode"):
+            encoded = self.encoder.encode(graph)
+        with self._section("localizer.gnn_forward"):
+            paths = self.model.predict_paths(encoded, threshold=self.threshold)
         if len(self._cache) >= self.cache_size:
             self._cache.clear()
         self._cache[cache_key] = list(paths)
@@ -199,7 +210,19 @@ class SnowplowLoop(FuzzLoop):
                     failure_threshold=cfg.breaker_failure_threshold,
                     reset_timeout=cfg.breaker_reset_factor * latency,
                 ),
+                registry=(
+                    self.observer.registry
+                    if self.observer is not None else None
+                ),
+                tracer=self.tracer,
             )
+        # The oracle localizer has no profiler hook; only the PMM path
+        # attributes graph-build/GNN time.
+        if (
+            self.observer is not None
+            and getattr(localizer, "profiler", False) is None
+        ):
+            localizer.profiler = self.observer.profiler
         self._bursts: deque[_Burst] = deque()
         # Recent burst productivity (EMA of "this burst mutation found
         # new coverage"), driving the adaptive burst share.
@@ -247,11 +270,22 @@ class SnowplowLoop(FuzzLoop):
     # ----- the hook -----
 
     def propose_mutation(self, entry: CorpusEntry) -> MutationOutcome | None:
+        start = self.clock.now
+        try:
+            return self._propose(entry)
+        finally:
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.track, "mutate", start, self.clock.now, cat="mutate",
+                )
+
+    def _propose(self, entry: CorpusEntry) -> MutationOutcome | None:
         self.clock.advance(self.cost.mutation, "mutation")
         if self.cost.inference_charge:
             # Blocking-inference ablation: the loop pays the latency.
             self.clock.advance(self.cost.inference_charge, "inference")
         completed = self.service.poll(self.clock.now)
+        self.stats.inference_completed += len(completed)
         # Requests lost to injected timeouts/slot crashes never burst;
         # the fuzzer simply keeps its heuristics flowing (§3.4), but the
         # losses are accounted so degraded runs are measurable.
@@ -357,6 +391,8 @@ class SnowplowLoop(FuzzLoop):
             # Queue full or breaker open: this query's localization is
             # served by the heuristic SyzkallerLocalizer instead.
             self.stats.heuristic_fallbacks += 1
+        else:
+            self.stats.inference_submitted += 1
 
     def finalize(self) -> FuzzStats:
         stats = super().finalize()

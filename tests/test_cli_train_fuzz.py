@@ -1,5 +1,7 @@
 """End-to-end CLI test: train a tiny checkpoint, then fuzz with it."""
 
+import json
+
 from repro.cli import main
 
 
@@ -95,3 +97,72 @@ class TestCliCluster:
             "cluster", "--size", "small", "--worker-counts", "1",
         ])
         assert code == 2
+
+
+class TestCliObserve:
+    def _observed_run(self, tmp_path, capsys):
+        directory = tmp_path / "telemetry"
+        code = main([
+            "fuzz", "--size", "small", "--oracle",
+            "--hours", "0.1", "--seed-corpus", "10",
+            "--observe-dir", str(directory),
+        ])
+        assert code == 0
+        assert "telemetry:" in capsys.readouterr().out
+        return directory
+
+    def test_fuzz_observe_dir_exports_artifacts(self, tmp_path, capsys):
+        directory = self._observed_run(tmp_path, capsys)
+        for name in ("trace.json", "spans.jsonl", "metrics.json",
+                     "flame.txt", "profile.txt"):
+            assert (directory / name).exists()
+        doc = json.loads((directory / "trace.json").read_text())
+        assert doc["traceEvents"]
+
+    def test_observe_render(self, tmp_path, capsys):
+        directory = self._observed_run(tmp_path, capsys)
+        chrome = tmp_path / "rendered.json"
+        code = main([
+            "observe", "render", str(directory / "spans.jsonl"),
+            "--chrome", str(chrome),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flame summary" in out and "perfetto" in out
+        # The rendered trace equals the directly exported one.
+        assert chrome.read_text() == (directory / "trace.json").read_text()
+
+    def test_observe_diff_and_regression_exit_code(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(
+            {"counters": {"fuzz.executions": 100}, "gauges": {},
+             "histograms": {}}
+        ))
+        new.write_text(json.dumps(
+            {"counters": {"fuzz.executions": 40}, "gauges": {},
+             "histograms": {}}
+        ))
+        assert main(["observe", "diff", str(old), str(old)]) == 0
+        assert "no metric changes" in capsys.readouterr().out
+        assert main(["observe", "diff", str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "regression(s)" in out and "lower-is-worse" in out
+        # A generous threshold silences the same delta.
+        assert main([
+            "observe", "diff", str(old), str(new), "--threshold", "90",
+        ]) == 0
+
+    def test_observe_check(self, tmp_path, capsys):
+        directory = self._observed_run(tmp_path, capsys)
+        metrics = str(directory / "metrics.json")
+        assert main([
+            "observe", "check", metrics,
+            "--require", "fuzz.executions",
+            "--require", "serve.queue_delay",
+        ]) == 0
+        assert "expected series present" in capsys.readouterr().out
+        assert main([
+            "observe", "check", metrics, "--require", "no.such.series",
+        ]) == 1
+        assert "missing expected series" in capsys.readouterr().err

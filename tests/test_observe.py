@@ -1,0 +1,532 @@
+"""Tests for repro.observe: metrics, tracing, exporters, diffing,
+profiling — and the property the subsystem exists for: observed
+campaigns export byte-identically across same-seed runs, including a
+run that was killed mid-flight and resumed from a checkpoint."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.observe import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounterMap,
+    MetricsRegistry,
+    Observer,
+    Profiler,
+    Tracer,
+    chrome_trace,
+    diff_snapshots,
+    flag_regressions,
+    flame_summary,
+    format_diff,
+    load_spans_jsonl,
+    series_key,
+    spans_jsonl,
+)
+from repro.rng import derive_seed
+from repro.snowplow import (
+    CampaignConfig,
+    build_cluster,
+    cluster_state,
+    restore_cluster_state,
+    run_scaling_campaign,
+)
+from repro.vclock import VirtualClock
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+CANONICAL_FILES = ("trace.json", "spans.jsonl", "metrics.json", "flame.txt")
+
+
+def _demo_tracer() -> Tracer:
+    """The fixed fixture the golden exporter files are generated from."""
+    tracer = Tracer()
+    tracer.record("worker0", "iteration", 0.0, 12.5, cat="iteration", n=1)
+    tracer.record("worker0", "exec", 0.5, 10.0, cat="exec")
+    tracer.instant("worker0", "crash", 10.0, cat="crash", kind="KASAN")
+    tracer.record("serve", "inference", 2.0, 6.0, cat="inference", batch=4)
+    tracer.instant("serve", "breaker_open", 6.0, cat="fault")
+    tracer.record("worker0", "triage", 10.0, 12.5, cat="triage")
+    return tracer
+
+
+class TestSeriesKey:
+    def test_plain_name(self):
+        assert series_key("fuzz.executions") == "fuzz.executions"
+
+    def test_labels_sorted(self):
+        assert (
+            series_key("fuzz.mutations", {"worker": 3, "type": "splice"})
+            == "fuzz.mutations{type=splice,worker=3}"
+        )
+
+
+class TestHistogram:
+    def test_bucket_of_power_of_two_boundaries(self):
+        # Bucket i covers (2**(i-1), 2**i]; exact powers sit on the
+        # upper bound of their bucket.
+        assert Histogram.bucket_of(1.0) == 0
+        assert Histogram.bucket_of(1.5) == 1
+        assert Histogram.bucket_of(2.0) == 1
+        assert Histogram.bucket_of(2.0001) == 2
+        assert Histogram.bucket_of(0.25) == -2
+        assert Histogram.bucket_of(10.0) == 4
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        hist = Histogram("h", {})
+        for value in (1.0, 2.0, 3.0, 4.0, 10.0):
+            hist.add(value)
+        # Median target is the 3rd sample (3.0), which lives in the
+        # (2, 4] bucket, so p50 reads that bucket's upper bound.
+        assert hist.p50 == 4.0
+        # p95/p99 clamp to the observed max.
+        assert hist.p95 == 10.0
+        assert hist.p99 == 10.0
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.count == 5
+
+    def test_zero_has_its_own_bucket(self):
+        hist = Histogram("h", {})
+        for value in (0.0, 0.0, 0.0, 8.0):
+            hist.add(value)
+        assert hist.zero == 3
+        assert hist.p50 == 0.0
+        assert hist.quantile(1.0) == 8.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Histogram("h", {}).add(-1.0)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("h", {}).quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h", {}).p95 == 0.0
+
+    def test_state_roundtrip_through_json(self):
+        hist = Histogram("h", {})
+        for value in (0.0, 0.5, 3.0, 100.0):
+            hist.add(value)
+        state = json.loads(json.dumps(hist.state_dict()))
+        other = Histogram("h", {})
+        other.restore(state)
+        assert other.state_dict() == hist.state_dict()
+        assert other.p95 == hist.p95
+        assert other.mean == hist.mean
+
+    def test_no_samples_stored(self):
+        hist = Histogram("h", {})
+        for i in range(10_000):
+            hist.add(float(i % 37))
+        # Memory stays O(buckets): a handful of power-of-two buckets,
+        # not ten thousand samples.
+        assert len(hist.buckets) < 10
+
+    def test_bucketing_uses_exact_float_decomposition(self):
+        # Every positive float lands in exactly one bucket, and the
+        # bucket bound arithmetic is exact (ldexp/frexp, no logs).
+        for value in (1e-9, 0.1, 1.0, 7.3, 2.0**31):
+            index = Histogram.bucket_of(value)
+            assert math.ldexp(1.0, index - 1) < value <= math.ldexp(1.0, index)
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g", worker=1) is registry.gauge("g", worker=1)
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="counter"):
+            registry.gauge("x")
+
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("fuzz.executions", worker=1).inc(5)
+        registry.gauge("serve.depth").set(2.5)
+        registry.histogram("serve.queue_delay").add(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"fuzz.executions{worker=1}": 5}
+        assert snap["gauges"] == {"serve.depth": 2.5}
+        assert snap["histograms"]["serve.queue_delay"]["count"] == 1
+
+    def test_diagnostic_series_excluded_from_canonical_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("fuzz.resumes", diagnostic=True).inc()
+        registry.counter("fuzz.executions").inc()
+        assert "fuzz.resumes" not in registry.snapshot()["counters"]
+        assert "fuzz.resumes" in registry.snapshot(full=True)["counters"]
+        # ... but checkpoints always carry them.
+        keys = {entry["name"] for entry in registry.state_dict()["series"]}
+        assert "fuzz.resumes" in keys
+
+    def test_to_json_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        assert registry.to_json() == (
+            '{"counters":{"a":2,"b":1},"gauges":{},"histograms":{}}'
+        )
+
+    def test_state_roundtrip_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("fuzz.executions", worker=3).inc(7)
+        registry.gauge("charge", kind="exec").set(1.25)
+        registry.histogram("serve.queue_delay").add(4.0)
+        state = json.loads(json.dumps(registry.state_dict()))
+        fresh = MetricsRegistry()
+        fresh.restore(state)
+        assert fresh.to_json() == registry.to_json()
+        # Integer labels survive the JSON round trip as integers.
+        assert "fuzz.executions{worker=3}" in fresh.snapshot()["counters"]
+
+    def test_restore_leaves_unknown_local_series_alone(self):
+        captured = MetricsRegistry()
+        captured.counter("a").inc(4)
+        local = MetricsRegistry()
+        local.counter("a").inc(1)
+        local.counter("zeroed_since_build").inc(9)
+        local.restore(captured.state_dict())
+        assert local.counter("a").value == 4
+        assert local.counter("zeroed_since_build").value == 9
+
+    def test_restore_is_in_place(self):
+        # Stats views cache instrument objects; restore must mutate
+        # them, not swap in replacements.
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        state = MetricsRegistry()
+        state.counter("a").inc(11)
+        registry.restore(state.state_dict())
+        assert counter.value == 11
+        assert registry.counter("a") is counter
+
+    def test_remove(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.remove("a")
+        assert len(registry) == 0
+
+
+class TestLabeledCounterMap:
+    def test_mapping_surface(self):
+        registry = MetricsRegistry()
+        mapping = LabeledCounterMap(registry, "fuzz.mutations", "type")
+        mapping["splice"] = 2
+        mapping["splice"] += 1
+        assert mapping["splice"] == 3
+        assert mapping.get("missing", 0) == 0
+        assert len(mapping) == 1
+        assert dict(mapping) == {"splice": 3}
+        assert mapping == {"splice": 3}
+
+    def test_backed_by_registry_series(self):
+        registry = MetricsRegistry()
+        mapping = LabeledCounterMap(
+            registry, "fuzz.mutations", "type", {"worker": 2}
+        )
+        mapping["arg"] = 5
+        snap = registry.snapshot()["counters"]
+        assert snap == {"fuzz.mutations{type=arg,worker=2}": 5}
+        del mapping["arg"]
+        assert registry.snapshot()["counters"] == {}
+
+    def test_replace_swaps_family(self):
+        registry = MetricsRegistry()
+        mapping = LabeledCounterMap(
+            registry, "serve.batches", "size", key_type=int
+        )
+        mapping[1] = 3
+        mapping.replace({"4": 2, "8": 1})
+        assert dict(mapping) == {4: 2, 8: 1}
+        assert "serve.batches{size=1}" not in registry.snapshot()["counters"]
+
+
+class TestTracer:
+    def test_record_and_instant_share_one_sequence(self):
+        tracer = _demo_tracer()
+        assert [event.seq for event in tracer.events()] == list(range(6))
+        assert len(tracer) == 6
+        assert tracer.tracks() == ["serve", "worker0"]
+
+    def test_span_context_manager_uses_clock(self):
+        tracer = Tracer()
+        clock = VirtualClock()
+        clock.advance(5.0, "setup")
+        with tracer.span("worker0", "exec", clock, cat="exec"):
+            clock.advance(2.5, "exec")
+        (span,) = tracer.spans
+        assert (span.start, span.end) == (5.0, 7.5)
+        assert span.duration == 2.5
+
+    def test_state_roundtrip_through_json(self):
+        tracer = _demo_tracer()
+        state = json.loads(json.dumps(tracer.state_dict()))
+        fresh = Tracer()
+        fresh.restore(state)
+        assert spans_jsonl(fresh) == spans_jsonl(tracer)
+        # The restored tracer continues the same sequence numbering.
+        assert fresh.record("serve", "x", 0.0, 1.0).seq == 6
+
+
+class TestExporters:
+    def test_spans_jsonl_golden(self):
+        with open(os.path.join(GOLDEN_DIR, "observe_spans.jsonl")) as handle:
+            assert spans_jsonl(_demo_tracer()) == handle.read()
+
+    def test_chrome_trace_golden(self):
+        with open(os.path.join(GOLDEN_DIR, "observe_trace.json")) as handle:
+            assert chrome_trace(_demo_tracer()) == handle.read()
+
+    def test_chrome_trace_structure(self):
+        doc = json.loads(chrome_trace(_demo_tracer()))
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metadata} == {"serve", "worker0"}
+        complete = [e for e in events if e["ph"] == "X"]
+        # Virtual seconds export as integral microseconds.
+        exec_span = next(e for e in complete if e["name"] == "exec")
+        assert exec_span["ts"] == 500_000 and exec_span["dur"] == 9_500_000
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+        assert doc["otherData"]["clock"] == "virtual"
+
+    def test_spans_jsonl_roundtrip(self):
+        text = spans_jsonl(_demo_tracer())
+        assert spans_jsonl(load_spans_jsonl(text)) == text
+
+    def test_load_rejects_unknown_record(self):
+        with pytest.raises(ValueError, match="unknown"):
+            load_spans_jsonl('{"type":"mystery","seq":0}')
+
+    def test_flame_summary_shares(self):
+        text = flame_summary(_demo_tracer())
+        assert "track worker0" in text and "track serve" in text
+        # iteration covers the whole worker0 window -> 100% share.
+        assert "iteration" in text and "100.0%" in text
+
+    def test_empty_tracer_exports(self):
+        tracer = Tracer()
+        assert spans_jsonl(tracer) == ""
+        assert "(no spans recorded)" in flame_summary(tracer)
+        assert json.loads(chrome_trace(tracer))["traceEvents"] == []
+
+
+class TestDiff:
+    def _snap(self, **counters):
+        return {"counters": counters, "gauges": {}, "histograms": {}}
+
+    def test_diff_reports_changed_series_only(self):
+        deltas = diff_snapshots(
+            self._snap(a=1, b=2), self._snap(a=1, b=5, c=3)
+        )
+        assert [(d.key, d.old, d.new) for d in deltas] == [
+            ("b", 2, 5), ("c", 0, 3),
+        ]
+        assert deltas[1].pct == float("inf")
+
+    def test_histograms_compared_on_tail(self):
+        old = {"histograms": {"serve.queue_delay": {"p95": 4.0, "count": 10}}}
+        new = {"histograms": {"serve.queue_delay": {"p95": 8.0, "count": 10}}}
+        (delta,) = diff_snapshots(old, new)
+        assert delta.key == "serve.queue_delay/p95"
+        assert delta.change == 4.0
+
+    def test_flag_directions(self):
+        old = self._snap(**{"fuzz.executions": 100, "serve.failures": 2})
+        new = self._snap(**{"fuzz.executions": 50, "serve.failures": 10})
+        regressions = flag_regressions(old, new)
+        described = {r.delta.key: r.direction for r in regressions}
+        assert described == {
+            "fuzz.executions": "lower-is-worse",
+            "serve.failures": "higher-is-worse",
+        }
+
+    def test_threshold_and_good_direction_not_flagged(self):
+        old = self._snap(**{"fuzz.executions": 100, "serve.failures": 10})
+        # Executions up and failures down are improvements; a 5% dip
+        # stays under a 10% threshold.
+        new = self._snap(**{"fuzz.executions": 95, "serve.failures": 2})
+        assert flag_regressions(old, new, threshold_pct=10.0) == []
+        assert flag_regressions(old, new, threshold_pct=4.0) != []
+
+    def test_format_diff(self):
+        assert format_diff([]) == "no metric changes\n"
+        text = format_diff(diff_snapshots(self._snap(a=1), self._snap(a=3)))
+        assert "a" in text and "+200.0%" in text
+
+
+class TestProfiler:
+    def test_section_accumulates_virtual_time(self):
+        profiler = Profiler()
+        clock = VirtualClock()
+        with profiler.section("exec", clock):
+            clock.advance(3.0, "exec")
+        with profiler.section("exec", clock):
+            clock.advance(1.0, "exec")
+        calls, wall, virtual = profiler.sections()["exec"]
+        assert calls == 2
+        assert virtual == 4.0
+        assert wall >= 0.0
+
+    def test_add_virtual_and_publish(self):
+        profiler = Profiler()
+        profiler.add_virtual("gnn_forward", 12.0, calls=3)
+        registry = MetricsRegistry()
+        profiler.publish(registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["profile.virtual{section=gnn_forward}"] == 12.0
+        assert gauges["profile.calls{section=gnn_forward}"] == 3
+
+    def test_report_mentions_wall_time_caveat(self):
+        profiler = Profiler()
+        assert "host-dependent" in profiler.report()
+        profiler.add_virtual("x", 1.0)
+        assert "x" in profiler.report()
+
+
+class TestObserver:
+    def test_export_writes_all_artifacts(self, tmp_path):
+        observer = Observer(tracer=_demo_tracer())
+        observer.registry.counter("fuzz.executions").inc(3)
+        paths = observer.export(tmp_path / "obs")
+        assert sorted(paths) == [
+            "flame.txt", "metrics.json", "profile.txt",
+            "spans.jsonl", "trace.json",
+        ]
+        for path in paths.values():
+            assert path.exists()
+        metrics = json.loads((tmp_path / "obs" / "metrics.json").read_text())
+        assert metrics["counters"]["fuzz.executions"] == 3
+
+    def test_state_roundtrip_excludes_profiler(self):
+        observer = Observer(tracer=_demo_tracer())
+        observer.registry.counter("a").inc()
+        observer.profiler.add_virtual("hot", 9.0)
+        state = json.loads(json.dumps(observer.state_dict()))
+        assert "profiler" not in state
+        fresh = Observer()
+        fresh.restore(state)
+        assert fresh.registry.to_json() == observer.registry.to_json()
+        assert spans_jsonl(fresh.tracer) == spans_jsonl(observer.tracer)
+
+
+# ----- observed campaigns: the determinism acceptance tests -----
+
+
+def _campaign_config(seed=11, horizon=2400.0):
+    return CampaignConfig(
+        horizon=horizon, runs=1, seed=seed, seed_corpus_size=12,
+        sample_interval=300.0,
+    )
+
+
+def _observed_cluster(kernel, workers=2, seed=11, baseline=False):
+    config = _campaign_config(seed=seed)
+    run_seed = derive_seed(config.seed, "observe-test", kernel.version)
+    observer = Observer()
+    cluster = build_cluster(
+        kernel, None, run_seed, config,
+        cluster_config=ClusterConfig(workers=workers, sync_interval=300.0),
+        baseline=baseline, oracle=not baseline, observer=observer,
+    )
+    return cluster, observer
+
+
+def _canonical_bytes(observer, directory):
+    paths = observer.export(directory)
+    return {
+        name: paths[name].read_bytes() for name in CANONICAL_FILES
+    }
+
+
+class TestObservedCampaignDeterminism:
+    def test_same_seed_runs_export_identically(self, kernel, tmp_path):
+        exports = []
+        for attempt in range(2):
+            cluster, observer = _observed_cluster(kernel)
+            cluster.run()
+            exports.append(
+                _canonical_bytes(observer, tmp_path / f"run{attempt}")
+            )
+        assert exports[0] == exports[1]
+        # And the exports are non-trivial: spans on every worker track
+        # plus the serving tier.
+        doc = json.loads(exports[0]["trace.json"])
+        names = {
+            event["args"]["name"]
+            for event in doc["traceEvents"] if event["ph"] == "M"
+        }
+        assert {"worker0", "worker1", "serve"} <= names
+
+    def test_kill_resume_exports_identically(self, kernel, tmp_path):
+        """An observed fleet killed mid-run and resumed from its
+        checkpoint exports byte-identically to the uninterrupted run —
+        telemetry follows durable state, not process lifetime."""
+        whole, whole_observer = _observed_cluster(kernel, baseline=True)
+        whole.run()
+        uninterrupted = _canonical_bytes(whole_observer, tmp_path / "whole")
+
+        interrupted, _ = _observed_cluster(kernel, baseline=True)
+        interrupted.run_until(1200.0)
+        state = json.loads(json.dumps(cluster_state(interrupted)))
+        resumed, resumed_observer = _observed_cluster(kernel, baseline=True)
+        restore_cluster_state(resumed, state)
+        resumed.run()
+        assert _canonical_bytes(
+            resumed_observer, tmp_path / "resumed"
+        ) == uninterrupted
+        # The resume itself is visible, but only off the canonical path.
+        full = resumed_observer.registry.snapshot(full=True)["counters"]
+        assert full["fuzz.resumes{worker=0}"] == 1
+
+    def test_scaling_campaign_emits_per_worker_series(self, kernel, tmp_path):
+        # seed/horizon chosen so the 2-worker fleet actually completes
+        # batched inference inside the budget (seed 31 at 1800s never
+        # drains a batch before the horizon).
+        result = run_scaling_campaign(
+            kernel, None, _campaign_config(seed=11, horizon=2400.0),
+            worker_counts=(1, 2),
+            cluster_config=ClusterConfig(workers=2, sync_interval=300.0),
+            oracle=True, observe=True,
+        )
+        point = result.points[-1]
+        assert point.workers == 2
+        paths = point.observer.export(tmp_path / "fleet2")
+        snap = json.loads(paths["metrics.json"].read_text())
+        counters = snap["counters"]
+        for worker in (0, 1):
+            assert counters[f"fuzz.executions{{worker={worker}}}"] > 0
+            assert counters[f"fuzz.inference_submitted{{worker={worker}}}"] > 0
+            assert counters[f"fuzz.hub_syncs{{worker={worker}}}"] > 0
+        # The shared tier reports, too, and the trace carries the
+        # campaign-level span for this fleet size.
+        assert counters["serve.completed"] > 0
+        assert "serve.queue_delay" in snap["histograms"]
+        doc = json.loads(paths["trace.json"].read_text())
+        campaign = [
+            event for event in doc["traceEvents"]
+            if event["ph"] == "X" and event["name"] == "fleet2"
+        ]
+        assert len(campaign) == 1
+
+    def test_unobserved_runs_unchanged(self, kernel):
+        """observe=None must not perturb the simulation: same final
+        coverage with and without the observer riding along."""
+        observed, _ = _observed_cluster(kernel, seed=17)
+        config = _campaign_config(seed=17)
+        run_seed = derive_seed(config.seed, "observe-test", kernel.version)
+        plain = build_cluster(
+            kernel, None, run_seed, config,
+            cluster_config=ClusterConfig(workers=2, sync_interval=300.0),
+            oracle=True,
+        )
+        assert observed.run().final_edges == plain.run().final_edges

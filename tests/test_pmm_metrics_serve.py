@@ -291,7 +291,10 @@ class TestQueueDelayDistribution:
         stats = InferenceStats()
         for delay in (1.0, 2.0, 3.0, 4.0, 10.0):
             stats.record_queue_delay(delay)
-        assert stats.p50_queue_delay == 3.0
+        # Streaming histogram quantiles read off power-of-two buckets:
+        # the median sample 3.0 lands in the (2, 4] bucket, p50 is its
+        # upper bound.
+        assert stats.p50_queue_delay == 4.0
         assert stats.p95_queue_delay == 10.0
         assert stats.max_queue_delay == 10.0
         assert stats.mean_queue_delay == pytest.approx(4.0)
@@ -350,7 +353,8 @@ class TestBatchingService:
         assert service.stats.batch_sizes == {2: 1}
         # Queue delays are dispatch - arrival.
         assert service.stats.max_queue_delay == 10.0
-        assert service.stats.p50_queue_delay == 7.0
+        # Bucketed median: 7.0 sits in the (4, 8] bucket.
+        assert service.stats.p50_queue_delay == 8.0
 
     def test_saturation_beats_unbatched_baseline(self):
         service = self._service()
