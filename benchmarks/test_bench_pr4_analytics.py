@@ -1,0 +1,90 @@
+"""PR 4 trajectory gate: the analytics stack on a tiny traced campaign.
+
+One fully-observed oracle campaign on the "tiny" kernel produces the
+three headline numbers the CI bench-gate tracks across PRs —
+tests/virtual-second, p95 inference queue delay, and coverage at a
+fixed virtual budget.  The run is deterministic, so the committed
+``BENCH_PR4.json`` baseline must reproduce byte-for-byte; any drift
+beyond the ``flag_regressions`` threshold in the bad direction fails
+the bench.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import RESULTS_DIR, write_metrics, write_result
+from repro.kernel import build_kernel
+from repro.observe import (
+    Observer,
+    SLOEngine,
+    campaign_report,
+    default_rules,
+    flag_regressions,
+)
+from repro.rng import split
+from repro.snowplow import CampaignConfig
+from repro.snowplow.campaign import _build_snowplow_loop
+from repro.syzlang import ProgramGenerator
+
+BASELINE = os.path.join(RESULTS_DIR, "BENCH_PR4.json")
+
+
+def _traced_campaign():
+    """The tiny observed campaign the CI bench-gate re-runs."""
+    kernel = build_kernel("6.8", seed=1, size="tiny")
+    config = CampaignConfig(
+        horizon=2400.0, runs=1, seed=11, seed_corpus_size=12,
+        sample_interval=300.0,
+    )
+    observer = Observer(slo=SLOEngine(default_rules()))
+    loop = _build_snowplow_loop(
+        kernel, None, 7, config, oracle=True, observer=observer
+    )
+    seeds = ProgramGenerator(
+        kernel.table, split(7, "seed-corpus")
+    ).seed_corpus(config.seed_corpus_size)
+    loop.seed(seeds)
+    stats = loop.run()
+    return loop, stats, observer
+
+
+def test_bench_pr4_analytics_gate(benchmark):
+    loop, stats, observer = benchmark.pedantic(
+        _traced_campaign, rounds=1, iterations=1
+    )
+    throughput = stats.executions / loop.clock.now
+    queue_delay_p95 = loop.service.stats.queue_delay.p95
+    new_edges = len(loop.accumulated.edges)
+
+    # Read the committed baseline before write_metrics replaces it.
+    baseline = None
+    if os.path.exists(BASELINE):
+        with open(BASELINE) as handle:
+            baseline = json.load(handle)
+
+    # Series names reuse the diff heuristics' direction tags:
+    # "executions"/"new_edges" are lower-is-worse, "delay" higher-is-worse.
+    fresh_path = write_metrics("BENCH_PR4.json", {
+        "bench.executions_per_second": round(throughput, 3),
+        "bench.queue_delay_p95": round(queue_delay_p95, 3),
+        "bench.new_edges_at_budget": float(new_edges),
+    })
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+
+    alerts = observer.evaluate_slo()
+    report = campaign_report(
+        observer.registry.snapshot(), store=observer.timeseries,
+        alerts=alerts, rules=observer.slo.rules,
+        title="PR 4 bench-gate campaign",
+    )
+    write_result("BENCH_PR4.txt", report.rstrip("\n"))
+
+    # The campaign itself must stay healthy: no critical alerts.
+    assert not [alert for alert in alerts if alert.severity == "critical"]
+
+    # Trajectory gate: compare against the committed baseline.  (A
+    # first run with no baseline seeds it and trivially passes.)
+    if baseline is None:
+        baseline = fresh
+    assert flag_regressions(baseline, fresh) == []

@@ -14,6 +14,8 @@ Subcommands mirror the Snowplow workflow::
     python -m repro.cli observe render out/spans.jsonl --chrome trace.json
     python -m repro.cli observe diff old/metrics.json new/metrics.json
     python -m repro.cli observe check out/metrics.json --require fuzz.executions
+    python -m repro.cli observe check out/metrics.json --slo default
+    python -m repro.cli observe report out/ --slo default
 """
 
 from __future__ import annotations
@@ -23,16 +25,22 @@ import json
 import sys
 from pathlib import Path
 
-from repro.kernel import Executor, build_kernel
+from repro.kernel import KNOWN_SIZES, Executor, build_kernel
 from repro.observe import (
     Observer,
+    SLOEngine,
+    alerts_json,
+    campaign_report,
     chrome_trace,
     diff_snapshots,
     flag_regressions,
     flame_summary,
     format_diff,
     load_spans_jsonl,
+    load_timeseries,
+    model_quality_summary,
 )
+from repro.observe.slo import DEFAULT_PACKS
 from repro.pmm import DatasetConfig, PMMConfig, TrainConfig
 from repro.pmm.checkpoint import load_pmm, save_pmm
 from repro.rng import derive_seed, split
@@ -59,8 +67,7 @@ def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--kernel", default="6.8",
                         help="kernel version (6.8/6.9/6.10)")
     parser.add_argument("--kernel-seed", type=int, default=1)
-    parser.add_argument("--size", default="default",
-                        choices=("small", "default", "large"))
+    parser.add_argument("--size", default="default", choices=KNOWN_SIZES)
 
 
 def _cmd_build_kernel(args) -> int:
@@ -144,7 +151,10 @@ def _cmd_fuzz(args) -> int:
     trained = _load_trained(args, kernel)
     if trained is None and not (args.baseline or oracle):
         return 2
-    observer = Observer() if args.observe_dir else None
+    observer = (
+        Observer(slo=SLOEngine(DEFAULT_PACKS["default"]()))
+        if args.observe_dir else None
+    )
     if args.workers > 1:
         cluster = build_cluster(
             kernel, trained, run_seed, config,
@@ -232,6 +242,8 @@ def _cmd_cluster(args) -> int:
     print(format_scaling(result))
     if args.observe_dir:
         for point in result.points:
+            if point.observer is not None and point.observer.slo is None:
+                point.observer.slo = SLOEngine(DEFAULT_PACKS["default"]())
             _export_observer(
                 point.observer,
                 Path(args.observe_dir) / f"workers{point.workers}",
@@ -266,6 +278,25 @@ def _cmd_observe_diff(args) -> int:
     return 0
 
 
+def _load_slo_store(args):
+    """The time-series store named by ``--timeseries`` (or the
+    ``timeseries.json`` sibling of the metrics file)."""
+    path = Path(
+        args.timeseries
+        if args.timeseries
+        else Path(args.metrics).parent / Observer.TIMESERIES_FILE
+    )
+    if not path.exists():
+        print(f"no time-series at {path}", file=sys.stderr)
+        return None
+    return load_timeseries(path.read_text())
+
+
+def _evaluate_slo(pack: str, store) -> tuple[list, list]:
+    rules = DEFAULT_PACKS[pack]()
+    return rules, SLOEngine(rules).evaluate(store)
+
+
 def _cmd_observe_check(args) -> int:
     snapshot = json.loads(Path(args.metrics).read_text())
     keys: set[str] = set()
@@ -281,6 +312,55 @@ def _cmd_observe_check(args) -> int:
         return 1
     print(f"all {len(args.require)} expected series present "
           f"({len(keys)} series in snapshot)")
+    if args.slo is None:
+        return 0
+    store = _load_slo_store(args)
+    if store is None:
+        return 1
+    rules, alerts = _evaluate_slo(args.slo, store)
+    for alert in alerts:
+        print(f"  [{alert.severity}] t={alert.time:,.0f}s "
+              f"{alert.rule}: {alert.message}")
+    critical = [alert for alert in alerts if alert.severity == "critical"]
+    print(f"slo pack {args.slo!r}: {len(rules)} rule(s), "
+          f"{len(alerts)} alert(s), {len(critical)} critical")
+    if critical or (alerts and args.strict):
+        return 1
+    return 0
+
+
+def _cmd_observe_report(args) -> int:
+    directory = Path(args.dir)
+    metrics_path = directory / Observer.METRICS_FILE
+    if not metrics_path.exists():
+        print(f"no metrics at {metrics_path}", file=sys.stderr)
+        return 2
+    snapshot = json.loads(metrics_path.read_text())
+    timeseries_path = directory / Observer.TIMESERIES_FILE
+    store = (
+        load_timeseries(timeseries_path.read_text())
+        if timeseries_path.exists() else None
+    )
+    rules = alerts = None
+    if store is not None:
+        rules, alerts = _evaluate_slo(args.slo, store)
+        (directory / Observer.ALERTS_FILE).write_text(alerts_json(alerts))
+    extra = {}
+    for other in args.compare:
+        extra.update(
+            model_quality_summary(json.loads(Path(other).read_text()))
+        )
+    text = campaign_report(
+        snapshot, store=store, alerts=alerts, rules=rules,
+        extra_summaries=extra, title=args.title,
+    )
+    if args.out:
+        Path(args.out).write_text(text)
+    print(text, end="")
+    if alerts is not None and any(
+        alert.severity == "critical" for alert in alerts
+    ):
+        return 1
     return 0
 
 
@@ -413,7 +493,35 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SUBSTRING",
                    help="series-key substring that must be present "
                         "(repeatable; exit 1 if any is missing)")
+    q.add_argument("--slo", default=None, choices=sorted(DEFAULT_PACKS),
+                   help="also evaluate this SLO rule pack over the "
+                        "campaign's timeseries.json (exit 1 on critical "
+                        "alerts)")
+    q.add_argument("--timeseries", default=None,
+                   help="timeseries.json to evaluate (default: sibling "
+                        "of the metrics file)")
+    q.add_argument("--strict", action="store_true",
+                   help="exit 1 on any alert, not just critical ones")
     q.set_defaults(func=_cmd_observe_check)
+    q = observe_sub.add_parser(
+        "report",
+        help="render one campaign health report (timelines, SLO "
+             "status, model quality) from an --observe-dir export",
+    )
+    q.add_argument("dir", help="directory written by --observe-dir")
+    q.add_argument("--slo", default="default",
+                   choices=sorted(DEFAULT_PACKS),
+                   help="SLO rule pack to evaluate (alerts.json is "
+                        "written next to the inputs)")
+    q.add_argument("--compare", action="append", default=[],
+                   metavar="METRICS_JSON",
+                   help="fold another campaign's metrics.json into the "
+                        "model-quality table (cross-release drift; "
+                        "repeatable)")
+    q.add_argument("--out", default=None,
+                   help="also write the report to this file")
+    q.add_argument("--title", default="campaign health report")
+    q.set_defaults(func=_cmd_observe_report)
 
     p = sub.add_parser("exec", help="execute a syz-format program")
     _add_kernel_args(p)

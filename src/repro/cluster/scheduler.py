@@ -111,6 +111,16 @@ class ClusterWorker:
         loop.stats.hub_pushed += accepted
         loop.stats.hub_pulled += len(pulled)
         loop.clock.advance(self.sync_cost, "hub_sync")
+        if loop.observer is not None:
+            # Fleet-union coverage as a gauge: the scaling claim is a
+            # trajectory, so the time-series needs it, not just the
+            # final number.
+            union = self.hub.coverage
+            loop.observer.registry.gauge("hub.edges").set(len(union.edges))
+            loop.observer.registry.gauge("hub.blocks").set(
+                len(union.blocks)
+            )
+            loop.observer.sample(loop.clock.now)
         if loop.tracer is not None:
             loop.tracer.record(
                 loop.track, "hub_sync", start, loop.clock.now,

@@ -488,3 +488,17 @@ class FuzzLoop:
                     executions=self.stats.executions,
                 )
             )
+            if self.observer is not None:
+                # Publish coverage as gauges so the time-series (and the
+                # SLO stall detector) see the trajectory, then take the
+                # cadenced registry sample.  The store enforces its own
+                # interval, so per-worker calls cost one comparison.
+                self.stats.corpus_size = len(self.corpus)
+                registry = self.observer.registry
+                registry.gauge(
+                    "fuzz.edges", **self.stats.labels
+                ).set(len(self.accumulated.edges))
+                registry.gauge(
+                    "fuzz.blocks", **self.stats.labels
+                ).set(len(self.accumulated.blocks))
+                self.observer.sample(self.clock.now)

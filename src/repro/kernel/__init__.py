@@ -17,7 +17,7 @@ from repro.kernel.state import KernelState
 from repro.kernel.cfg import HandlerCFG
 from repro.kernel.build import Kernel, KernelBuilder, KernelConfig
 from repro.kernel.executor import ExecResult, Executor
-from repro.kernel.versions import build_kernel
+from repro.kernel.versions import KNOWN_SIZES, build_kernel
 from repro.kernel.symbolize import SymbolizedCrash, symbolize
 
 __all__ = [

@@ -26,9 +26,12 @@ from repro.syzlang.stdlib import build_standard_table
 
 __all__ = ["build_kernel", "default_bug_plans", "KNOWN_SIZES"]
 
-KNOWN_SIZES = ("small", "default", "large")
+KNOWN_SIZES = ("tiny", "small", "default", "large")
 
 _SIZE_PARAMS = {
+    # "tiny" saturates within a short campaign — for smoke/CI runs and
+    # tests that need a genuine coverage plateau, not realism.
+    "tiny": dict(segments=(1, 2), nest_depth=1, run_length=(1, 1)),
     "small": dict(segments=(2, 4), nest_depth=1, run_length=(1, 2)),
     "default": dict(segments=(4, 7), nest_depth=3, run_length=(2, 4)),
     "large": dict(segments=(6, 10), nest_depth=4, run_length=(2, 4)),
@@ -82,8 +85,9 @@ def build_kernel(
 ) -> Kernel:
     """Build a synthetic kernel release.
 
-    ``size`` selects handler complexity: "small" keeps unit tests fast,
-    "default" is used by the experiment benches.
+    ``size`` selects handler complexity: "tiny" saturates quickly for
+    smoke campaigns, "small" keeps unit tests fast, "default" is used
+    by the experiment benches.
     """
     if size not in _SIZE_PARAMS:
         raise ValueError(f"unknown size {size!r}; known: {KNOWN_SIZES}")

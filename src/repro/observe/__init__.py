@@ -36,12 +36,41 @@ from .metrics import (
     Histogram,
     LabeledCounterMap,
     MetricsRegistry,
+    parse_series_key,
     series_key,
 )
+from .model_quality import (
+    ModelQualityTracker,
+    drift_summary,
+    format_model_quality,
+    model_quality_summary,
+)
 from .profile import Profiler
+from .report import campaign_report, sparkline
+from .slo import (
+    Alert,
+    BurnRateRule,
+    SLOEngine,
+    StallRule,
+    ThresholdRule,
+    alerts_json,
+    default_cluster_rules,
+    default_fuzz_rules,
+    default_rules,
+    default_serving_rules,
+    load_alerts,
+)
+from .timeseries import (
+    SeriesBuffer,
+    TimeSeriesStore,
+    flatten_snapshot,
+    load_timeseries,
+)
 from .trace import Instant, Span, Tracer
 
 __all__ = [
+    "Alert",
+    "BurnRateRule",
     "Counter",
     "Delta",
     "Gauge",
@@ -49,24 +78,44 @@ __all__ = [
     "Instant",
     "LabeledCounterMap",
     "MetricsRegistry",
+    "ModelQualityTracker",
     "Observer",
     "Profiler",
     "Regression",
+    "SLOEngine",
+    "SeriesBuffer",
     "Span",
+    "StallRule",
+    "ThresholdRule",
+    "TimeSeriesStore",
     "Tracer",
+    "alerts_json",
+    "campaign_report",
     "chrome_trace",
+    "default_cluster_rules",
+    "default_fuzz_rules",
+    "default_rules",
+    "default_serving_rules",
     "diff_snapshots",
+    "drift_summary",
     "flag_regressions",
     "flame_summary",
+    "flatten_snapshot",
     "format_diff",
+    "format_model_quality",
+    "load_alerts",
     "load_spans_jsonl",
+    "load_timeseries",
+    "model_quality_summary",
+    "parse_series_key",
     "series_key",
     "spans_jsonl",
+    "sparkline",
 ]
 
 
 class Observer:
-    """Registry + tracer + profiler for one campaign."""
+    """Registry + tracer + profiler + time-series for one campaign."""
 
     #: filenames written by :meth:`export`
     TRACE_FILE = "trace.json"
@@ -74,36 +123,78 @@ class Observer:
     METRICS_FILE = "metrics.json"
     FLAME_FILE = "flame.txt"
     PROFILE_FILE = "profile.txt"
+    TIMESERIES_FILE = "timeseries.json"
+    ALERTS_FILE = "alerts.json"
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
+        timeseries: TimeSeriesStore | None = None,
+        slo: SLOEngine | None = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.profiler = profiler if profiler is not None else Profiler()
+        self.timeseries = (
+            timeseries if timeseries is not None else TimeSeriesStore()
+        )
+        # Optional: a rule pack evaluated (and exported as alerts.json +
+        # trace instants) at export time.  None keeps exports rule-free.
+        self.slo = slo
+        self._annotated = False
+
+    # ----- sampling -----
+
+    def sample(self, now: float) -> bool:
+        """Cadenced registry sample at virtual time ``now``.
+
+        Loops call this from their observation hook every iteration; the
+        store's interval decides whether anything is recorded.
+        """
+        return self.timeseries.maybe_sample(now, self.registry)
+
+    # ----- SLO evaluation -----
+
+    def evaluate_slo(self) -> list[Alert]:
+        """Evaluate the attached rule pack; annotates the trace once."""
+        if self.slo is None:
+            return []
+        if self._annotated:
+            return self.slo.evaluate(self.timeseries)
+        self._annotated = True
+        return self.slo.annotate(self.tracer, self.timeseries)
 
     # ----- exports -----
 
     def export(self, directory) -> dict[str, Path]:
         """Write all artifacts; returns ``{artifact_name: path}``.
 
-        ``trace.json``/``spans.jsonl``/``metrics.json``/``flame.txt``
-        are canonical (byte-reproducible from the seed);
+        ``trace.json``/``spans.jsonl``/``metrics.json``/``flame.txt``/
+        ``timeseries.json`` (and ``alerts.json`` when a rule pack is
+        attached) are canonical — byte-reproducible from the seed;
         ``profile.txt`` includes wall time and is diagnostic only.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        paths = {}
-        for name, content in (
+        artifacts = []
+        if self.slo is not None:
+            # Evaluate before the trace renders so alert instants land
+            # on the exported timeline.
+            artifacts.append(
+                (self.ALERTS_FILE, alerts_json(self.evaluate_slo()))
+            )
+        artifacts += [
             (self.TRACE_FILE, chrome_trace(self.tracer)),
             (self.SPANS_FILE, spans_jsonl(self.tracer)),
             (self.METRICS_FILE, self.registry.to_json()),
+            (self.TIMESERIES_FILE, self.timeseries.to_json()),
             (self.FLAME_FILE, flame_summary(self.tracer)),
             (self.PROFILE_FILE, self.profiler.report()),
-        ):
+        ]
+        paths = {}
+        for name, content in artifacts:
             path = directory / name
             path.write_text(content)
             paths[name] = path
@@ -118,8 +209,11 @@ class Observer:
         return {
             "registry": self.registry.state_dict(),
             "tracer": self.tracer.state_dict(),
+            "timeseries": self.timeseries.state_dict(),
         }
 
     def restore(self, state: dict) -> None:
         self.registry.restore(state["registry"])
         self.tracer.restore(state["tracer"])
+        if "timeseries" in state:
+            self.timeseries.restore(state["timeseries"])

@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "LabeledCounterMap",
     "MetricsRegistry",
+    "parse_series_key",
     "series_key",
 ]
 
@@ -53,6 +54,26 @@ def series_key(name: str, labels: dict | None = None) -> str:
         f"{key}={labels[key]}" for key in sorted(labels, key=str)
     )
     return f"{name}{{{rendered}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`series_key`: ``name{k=v,...}`` → (name, labels).
+
+    Label values come back as strings — snapshot keys carry no type
+    information.  A derived-field suffix (``serve.queue_delay{...}/p95``)
+    stays attached to the name.
+    """
+    brace = key.find("{")
+    if brace == -1:
+        return key, {}
+    close = key.rfind("}")
+    name = key[:brace] + (key[close + 1:] if close != -1 else "")
+    labels: dict[str, str] = {}
+    for part in key[brace + 1:close].split(","):
+        if "=" in part:
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
 
 
 class Counter:
@@ -166,6 +187,11 @@ class Histogram:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        # Degenerate distributions answer exactly, not via bucket math:
+        # a single sample (or any all-equal stream) has every quantile
+        # equal to the one observed value.
+        if self.vmin == self.vmax:
+            return self.vmin
         target = max(1, math.ceil(q * self.count))
         cumulative = self.zero
         if cumulative >= target:

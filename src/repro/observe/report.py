@@ -1,0 +1,140 @@
+"""One-page campaign health report: timelines + SLOs + model quality.
+
+``repro observe report <dir>`` renders the artifacts an observed
+campaign exports (``metrics.json``, ``timeseries.json``, and the
+evaluated alerts) into a single deterministic text page — the
+operator's view of a run: what the trajectories did, whether the SLOs
+held, and how well the learned mutator predicted.  Everything here is a
+pure function of its inputs, so the report is golden-testable and
+byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from .model_quality import format_model_quality, model_quality_summary
+
+__all__ = ["campaign_report", "sparkline"]
+
+#: headline series, in display order (prefix match against flat keys)
+_HEADLINES = (
+    "fuzz.edges",
+    "fuzz.blocks",
+    "fuzz.executions",
+    "fuzz.corpus_size",
+    "fuzz.crashes",
+    "serve.completed",
+    "serve.queue_delay/p95",
+    "hub.pushed",
+)
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 24) -> str:
+    """Deterministic ASCII sparkline (resampled to ``width`` columns)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        step = (len(values) - 1) / (width - 1)
+        values = [values[round(index * step)] for index in range(width)]
+    low, high = min(values), max(values)
+    if high == low:
+        return "-" * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(
+        _SPARK_LEVELS[int((value - low) * scale)] for value in values
+    )
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:.2f}"
+
+
+def _timeline_section(store) -> list[str]:
+    lines = ["timelines"]
+    shown = 0
+    for prefix in _HEADLINES:
+        for key in store.series(prefix):
+            if not key.startswith(prefix):
+                continue
+            points = store.points(key)
+            if not points:
+                continue
+            values = [value for _, value in points]
+            lines.append(
+                f"  {key:<34} {_format_value(values[0]):>8} -> "
+                f"{_format_value(values[-1]):>8}  |{sparkline(values)}|"
+            )
+            shown += 1
+    if shown == 0:
+        lines.append("  (no sampled series)")
+    return lines
+
+
+def _slo_section(alerts, rules=None) -> list[str]:
+    lines = ["slo status"]
+    if rules is not None:
+        fired = {alert.rule for alert in alerts}
+        for rule in rules:
+            state = "ALERT" if rule.name in fired else "ok"
+            lines.append(f"  [{state:<5}] {rule.name} ({rule.severity})")
+    if not alerts:
+        lines.append("  0 alerts")
+        return lines
+    lines.append(f"  {len(alerts)} alert(s):")
+    for alert in alerts:
+        lines.append(
+            f"    t={alert.time:,.0f}s [{alert.severity}] "
+            f"{alert.rule}: {alert.message}"
+        )
+    return lines
+
+
+def campaign_report(
+    snapshot: dict,
+    store=None,
+    alerts=None,
+    rules=None,
+    extra_summaries: dict | None = None,
+    title: str = "campaign health report",
+) -> str:
+    """Render the full report.
+
+    ``snapshot`` is the canonical ``{counters, gauges, histograms}``
+    metrics shape; ``store`` a :class:`TimeSeriesStore` (or None when
+    the run predates sampling); ``alerts``/``rules`` the evaluated SLO
+    pack; ``extra_summaries`` merges model-quality stats from other
+    campaigns' snapshots (cross-release drift).
+    """
+    lines = [title, "=" * len(title)]
+    executions = sum(
+        value for key, value in snapshot.get("counters", {}).items()
+        if key.startswith("fuzz.executions")
+    )
+    crashes = sum(
+        value for key, value in snapshot.get("counters", {}).items()
+        if key.startswith("fuzz.crashes")
+    )
+    summary = f"executions: {executions:,.0f}  crashes: {crashes:,.0f}"
+    if store is not None and store.last_sample_time is not None:
+        summary += (
+            f"  samples: {store.samples} @ {store.interval:g}s"
+            f"  horizon: {store.last_sample_time:,.0f}s"
+        )
+    lines.append(summary)
+    lines.append("")
+    if store is not None:
+        lines.extend(_timeline_section(store))
+        lines.append("")
+    if alerts is not None:
+        lines.extend(_slo_section(alerts, rules))
+        lines.append("")
+    summaries = model_quality_summary(snapshot)
+    if extra_summaries:
+        for release, stats in extra_summaries.items():
+            summaries.setdefault(release, stats)
+        summaries = dict(sorted(summaries.items()))
+    lines.extend(format_model_quality(summaries).splitlines())
+    return "\n".join(lines) + "\n"

@@ -45,7 +45,9 @@ __all__ = [
     "save_checkpoint",
 ]
 
-_FORMAT_VERSION = 3
+# v4: observer state grew the time-series store (``timeseries`` key in
+# the observer dict), so restored campaigns replay identical timelines.
+_FORMAT_VERSION = 4
 
 # Transient checkpoint-store write failures retried before giving up.
 _WRITE_ATTEMPTS = 5

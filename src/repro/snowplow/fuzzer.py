@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -173,6 +173,10 @@ class _Burst:
     remaining: int
     targets: set[int]
     hints: frozenset[int] = frozenset()
+    # Model-quality evidence: predicted targets this burst's own
+    # mutations covered, and how many new blocks it gained in total.
+    hit: set[int] = field(default_factory=set)
+    gained: int = 0
 
 
 class SnowplowLoop(FuzzLoop):
@@ -224,6 +228,19 @@ class SnowplowLoop(FuzzLoop):
         ):
             localizer.profiler = self.observer.profiler
         self._bursts: deque[_Burst] = deque()
+        # Live localizer scoring (precision/recall@k against realized
+        # coverage) — observed runs only, keyed by kernel release so
+        # cross-version drift falls out of the snapshot.
+        if self.observer is not None:
+            from repro.observe import ModelQualityTracker
+
+            self._model_quality = ModelQualityTracker(
+                self.observer.registry,
+                kernel=self.kernel.version,
+                worker=self.worker,
+            )
+        else:
+            self._model_quality = None
         # Recent burst productivity (EMA of "this burst mutation found
         # new coverage"), driving the adaptive burst share.
         self._burst_yield = 0.25
@@ -292,6 +309,8 @@ class SnowplowLoop(FuzzLoop):
         self.stats.inference_failures += len(self.service.drain_failures())
         for query, paths in completed:
             program, _, targets, hints = query
+            if self._model_quality is not None:
+                self._model_quality.note_prediction(bool(paths))
             if paths:
                 cfg = self.snowplow_config
                 burst = min(
@@ -352,14 +371,33 @@ class SnowplowLoop(FuzzLoop):
 
     def _run_candidate(self, entry, outcome) -> None:
         pre_edges = len(self.accumulated.edges)
+        pre_blocks = len(self.accumulated.blocks)
+        burst = self._active_burst
+        # Targets still unreached before this execution: anything in
+        # here that is covered afterwards was hit by *this* mutation
+        # (hub pulls only land between iterations, never inside one).
+        pending_targets = (
+            burst.targets - self.accumulated.blocks
+            if burst is not None else None
+        )
         super()._run_candidate(entry, outcome)
-        if self._active_burst is not None:
+        if burst is not None:
             produced = len(self.accumulated.edges) > pre_edges
             decay = self.snowplow_config.burst_yield_decay
             self._burst_yield = (
                 decay * self._burst_yield + (1.0 - decay) * float(produced)
             )
+            burst.gained += len(self.accumulated.blocks) - pre_blocks
+            burst.hit |= pending_targets & self.accumulated.blocks
+            if burst.remaining <= 0:
+                self._score_burst(burst)
             self._active_burst = None
+
+    def _score_burst(self, burst: _Burst) -> None:
+        if self._model_quality is not None:
+            self._model_quality.score_burst(
+                burst.targets, burst.hit, burst.gained
+            )
 
     def _next_live_burst(self) -> _Burst | None:
         """The front-most burst whose targets are still uncovered.
@@ -372,6 +410,10 @@ class SnowplowLoop(FuzzLoop):
             burst = self._bursts[0]
             if burst.targets - self.accumulated.blocks:
                 return burst
+            # Stale bursts still get scored: a prediction overtaken by
+            # the rest of the fleet is (deserved) zero precision unless
+            # this burst's own early mutations produced the hits.
+            self._score_burst(burst)
             self._bursts.popleft()
         return None
 

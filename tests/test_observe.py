@@ -18,13 +18,17 @@ from repro.observe import (
     MetricsRegistry,
     Observer,
     Profiler,
+    SLOEngine,
     Tracer,
     chrome_trace,
+    default_rules,
     diff_snapshots,
     flag_regressions,
     flame_summary,
     format_diff,
+    format_model_quality,
     load_spans_jsonl,
+    model_quality_summary,
     series_key,
     spans_jsonl,
 )
@@ -40,7 +44,10 @@ from repro.vclock import VirtualClock
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
-CANONICAL_FILES = ("trace.json", "spans.jsonl", "metrics.json", "flame.txt")
+CANONICAL_FILES = (
+    "trace.json", "spans.jsonl", "metrics.json", "flame.txt",
+    "timeseries.json", "alerts.json",
+)
 
 
 def _demo_tracer() -> Tracer:
@@ -400,7 +407,7 @@ class TestObserver:
         paths = observer.export(tmp_path / "obs")
         assert sorted(paths) == [
             "flame.txt", "metrics.json", "profile.txt",
-            "spans.jsonl", "trace.json",
+            "spans.jsonl", "timeseries.json", "trace.json",
         ]
         for path in paths.values():
             assert path.exists()
@@ -432,7 +439,7 @@ def _campaign_config(seed=11, horizon=2400.0):
 def _observed_cluster(kernel, workers=2, seed=11, baseline=False):
     config = _campaign_config(seed=seed)
     run_seed = derive_seed(config.seed, "observe-test", kernel.version)
-    observer = Observer()
+    observer = Observer(slo=SLOEngine(default_rules()))
     cluster = build_cluster(
         kernel, None, run_seed, config,
         cluster_config=ClusterConfig(workers=workers, sync_interval=300.0),
@@ -484,6 +491,14 @@ class TestObservedCampaignDeterminism:
         assert _canonical_bytes(
             resumed_observer, tmp_path / "resumed"
         ) == uninterrupted
+        # The derived model-quality report (rendered off the snapshot)
+        # is identical too, completing the v4 byte-identity story:
+        # timelines + alerts are compared above as raw artifacts.
+        assert format_model_quality(
+            model_quality_summary(resumed_observer.registry.snapshot())
+        ) == format_model_quality(
+            model_quality_summary(whole_observer.registry.snapshot())
+        )
         # The resume itself is visible, but only off the canonical path.
         full = resumed_observer.registry.snapshot(full=True)["counters"]
         assert full["fuzz.resumes{worker=0}"] == 1
