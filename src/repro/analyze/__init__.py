@@ -1,0 +1,83 @@
+"""repro.analyze — static analysis over synthetic kernels and corpora.
+
+Three passes, one premise: everything PMM *learns* about the kernel is
+also statically *computable* from its construction, so the analysis
+layer provides the ground truth the learning stack is measured against.
+
+- :mod:`repro.analyze.deps` — the argument-dependency oracle.  Slices
+  every block's mandatory branch predicates into exact
+  ``(syscall, ArgPath)`` steering slots (``ArgCondition``) and def-use
+  resolved producer chains (``StateCondition``), packaged as
+  :class:`StaticOracleLocalizer`, the upper-bound row of the Table-1
+  selector comparison and a precise steering source for directed
+  fuzzing.
+- :mod:`repro.analyze.reach` — reachability and solvability.  Dominator
+  trees, shared reverse-BFS distances, and per-path satisfiability under
+  an interval+bitmask abstract domain; statically-dead blocks are
+  exposed so fuzzing loops stop wasting budget on unreachable targets.
+- :mod:`repro.analyze.witness` — concretization.  Builds a program that
+  provably reaches a target block (producers, state setup, satisfying
+  slot values), the executable soundness proof for the oracle.
+- :mod:`repro.analyze.lint` — a pluggable check registry with severities
+  and a canonical ``findings.json``, gating kernel invariants (live bug
+  chains, slot tokens in condition assembly, producible state flags) and
+  corpus hygiene (resource ordering, dangling fds, NULL pointers that
+  pin predicates) in CI via ``analyze --strict``.
+"""
+
+from repro.analyze.deps import (
+    BlockDependencies,
+    DependencyOracle,
+    Predicate,
+    StateDependency,
+    StaticOracleLocalizer,
+    SteeringSlot,
+    static_truths,
+)
+from repro.analyze.lint import (
+    Check,
+    Finding,
+    Severity,
+    findings_json,
+    load_findings,
+    registered_checks,
+    run_corpus_checks,
+    run_kernel_checks,
+    strict_failures,
+)
+from repro.analyze.reach import (
+    AbstractValue,
+    FlagRequirement,
+    PathState,
+    PathWitness,
+    ReachabilityAnalysis,
+    dominator_tree,
+)
+from repro.analyze.witness import WitnessBuilder, witness_program
+
+__all__ = [
+    "AbstractValue",
+    "BlockDependencies",
+    "Check",
+    "DependencyOracle",
+    "Finding",
+    "FlagRequirement",
+    "PathState",
+    "PathWitness",
+    "Predicate",
+    "ReachabilityAnalysis",
+    "Severity",
+    "StateDependency",
+    "StaticOracleLocalizer",
+    "SteeringSlot",
+    "WitnessBuilder",
+    "dominator_tree",
+    "findings_json",
+    "load_findings",
+    "registered_checks",
+    "run_corpus_checks",
+    "run_kernel_checks",
+    "static_truths",
+    "strict_failures",
+    "witness_program",
+]

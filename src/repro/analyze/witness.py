@@ -1,0 +1,284 @@
+"""Concretization: build a program that provably reaches a block.
+
+The dependency oracle names the slots that steer a block; this module
+closes the loop by *constructing* a satisfying program — the executable
+proof that the oracle's slice is sound and complete.  For a target
+block it takes one feasible entry path from
+:class:`~repro.analyze.reach.ReachabilityAnalysis`, concretizes each
+slot's abstract value with :meth:`AbstractValue.example`, and recursively
+prepends whatever the path's side conditions demand:
+
+- a resource-guard predicate (``fd > 0``) needs a producer call that
+  returns a live handle, which means steering the *producer* to its
+  success exit — the same witness construction, one level down;
+- a state predicate (``flags[key] == v``) needs a prior call that
+  executes an effect block writing ``v``, located through the oracle's
+  def-use index and again witnessed recursively.
+
+Handler CFGs are shallow and producer chains short, so the recursion is
+bounded; a depth/call budget guards hand-built pathological kernels.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.deps import DependencyOracle
+from repro.analyze.reach import AbstractValue, PathWitness, ReachabilityAnalysis
+from repro.errors import AnalysisError
+from repro.kernel.blocks import BlockRole
+from repro.kernel.build import Kernel
+from repro.syzlang.program import (
+    ArrayValue,
+    BufferValue,
+    Call,
+    IntValue,
+    Program,
+    PtrValue,
+    ResourceValue,
+    StructValue,
+    Value,
+    zero_value,
+)
+
+__all__ = ["WitnessBuilder", "witness_program"]
+
+_MAX_WITNESS_CALLS = 16
+_MAX_DEPTH = 5
+
+
+class WitnessBuilder:
+    """Builds witness programs for blocks of one kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        reach: ReachabilityAnalysis | None = None,
+        oracle: DependencyOracle | None = None,
+    ):
+        self.kernel = kernel
+        self.reach = reach if reach is not None else ReachabilityAnalysis(kernel)
+        self.oracle = oracle if oracle is not None else DependencyOracle(kernel)
+        self._success_exits: dict[str, int] = {}
+        for syscall, cfg in kernel.handlers.items():
+            for block_id, block in cfg.blocks.items():
+                if block.role is BlockRole.EXIT_SUCCESS:
+                    self._success_exits[syscall] = block_id
+                    break
+
+    # ----- public API -----
+
+    def witness(self, target_block: int) -> Program | None:
+        """A program whose execution covers ``target_block``, or None
+        when the block is statically dead / outside every handler."""
+        path = self.reach.feasible_path(target_block)
+        if path is None:
+            return None
+        program = Program()
+        self._realize(program, path, depth=0, active=frozenset())
+        return program
+
+    # ----- construction -----
+
+    def _realize(
+        self,
+        program: Program,
+        path: PathWitness,
+        depth: int,
+        active: frozenset[tuple[str, int]],
+    ) -> None:
+        """Append the calls that drive ``path``; prerequisites first."""
+        if depth > _MAX_DEPTH or len(program.calls) >= _MAX_WITNESS_CALLS:
+            raise AnalysisError(
+                f"witness for {path.syscall} block {path.blocks[-1]} "
+                "exceeds the construction budget"
+            )
+        # 1. State prerequisites: flags the path needs at non-default
+        #    values, produced by earlier calls reaching a writer block.
+        writable = self.reach.flag_writers()
+        for key, requirement in path.state.flags:
+            needed = requirement.needed_value(
+                writable.get(key, frozenset())
+            )
+            if needed is None:
+                continue
+            self._realize_flag(program, key, needed, depth, active)
+        # 2. The call itself, slots set to satisfying values.
+        spec = self.kernel.table.lookup(path.syscall)
+        call = Call(spec, [zero_value(arg_ty) for _, arg_ty in spec.args])
+        position = len(program.calls)
+        program.calls.append(call)
+        need_live: set[tuple[int, ...]] = set()
+        for slot_key, abstract in path.state.slots:
+            syscall, elements = slot_key
+            if syscall != path.syscall:
+                continue
+            leaf = _materialize(call, elements)
+            if isinstance(leaf, ResourceValue):
+                # A guard-fail path (fd <= 0) wants the NULL handle; only
+                # paths requiring a positive value get a live producer.
+                if not abstract.admits(0):
+                    need_live.add(elements)
+                continue
+            _assign_scalar(leaf, abstract)
+        # 3. Resource prerequisites: constrained resource leaves get a
+        #    live producer so guard predicates (fd > 0) hold.
+        self._wire_resources(
+            program, position, sorted(need_live), depth, active
+        )
+
+    def _realize_flag(
+        self,
+        program: Program,
+        key: str,
+        value: int,
+        depth: int,
+        active: frozenset[tuple[str, int]],
+    ) -> None:
+        writers = self.reach.writer_blocks(key, value)
+        for writer in writers:
+            if ("flag:" + key, writer) in active:
+                continue
+            sub_path = self.reach.feasible_path(writer)
+            if sub_path is None:
+                continue
+            self._realize(
+                program, sub_path, depth + 1,
+                active | {("flag:" + key, writer)},
+            )
+            return
+        raise AnalysisError(
+            f"no reachable writer sets flag {key!r} to {value}"
+        )
+
+    def _wire_resources(
+        self,
+        program: Program,
+        call_index: int,
+        guarded_paths: list[tuple[int, ...]],
+        depth: int,
+        active: frozenset[tuple[str, int]],
+    ) -> None:
+        """Give the named resource leaves of one call a live producer.
+
+        The producer calls are *inserted before* the consumer, so the
+        consumer's index shifts; ``program.insert_call`` keeps every
+        other resource reference consistent.
+        """
+        call = program.calls[call_index]
+        leaves: list[ResourceValue] = []
+        for elements in guarded_paths:
+            leaf = _materialize(call, elements)
+            if isinstance(leaf, ResourceValue):
+                leaves.append(leaf)
+        for leaf in leaves:
+            producer_specs = self.kernel.table.producers_of(leaf.ty.resource)
+            # Cheapest first: producers that consume nothing avoid
+            # another level of wiring.
+            producer_specs = sorted(
+                (spec for spec in producer_specs
+                 if spec.full_name in self._success_exits),
+                key=lambda spec: (len(spec.consumes()), spec.full_name),
+            )
+            for spec in producer_specs:
+                marker = ("res", spec.full_name)
+                if marker in active:
+                    continue
+                exit_block = self._success_exits[spec.full_name]
+                sub_path = self.reach.feasible_path(exit_block)
+                if sub_path is None:
+                    continue
+                insert_at = self._index_of(program, call)
+                prefix = Program()
+                self._realize(prefix, sub_path, depth + 1, active | {marker})
+                if len(program.calls) + len(prefix.calls) > _MAX_WITNESS_CALLS:
+                    raise AnalysisError(
+                        "witness resource wiring exceeds the call budget"
+                    )
+                for producer_call in prefix.calls:
+                    # Prefix-internal references are prefix-relative;
+                    # rebase them before transplanting.
+                    _shift_resource_refs(producer_call, insert_at)
+                for offset, producer_call in enumerate(prefix.calls):
+                    program.insert_call(insert_at + offset, producer_call)
+                leaf.producer = insert_at + len(prefix.calls) - 1
+                break
+            # No reachable producer: the NULL resource stays.  A guard
+            # predicate on it would have made the feasible path
+            # impossible, so this only happens for unguarded leaves.
+
+    @staticmethod
+    def _index_of(program: Program, call: Call) -> int:
+        for index, candidate in enumerate(program.calls):
+            if candidate is call:
+                return index
+        raise AnalysisError("witness call vanished during construction")
+
+
+def _shift_resource_refs(call: Call, offset: int) -> None:
+    """Rebase every resource reference inside ``call`` by ``offset``."""
+
+    def walk(value: Value) -> None:
+        if isinstance(value, ResourceValue):
+            if value.producer is not None:
+                value.producer += offset
+        elif isinstance(value, PtrValue) and value.pointee is not None:
+            walk(value.pointee)
+        elif isinstance(value, StructValue):
+            for child in value.fields:
+                walk(child)
+        elif isinstance(value, ArrayValue):
+            for child in value.elems:
+                walk(child)
+
+    for arg in call.args:
+        walk(arg)
+
+
+def _materialize(call: Call, elements: tuple[int, ...]) -> Value:
+    """The leaf value at ``elements``, creating array elements and
+    pointees as needed (zero values start with minimal shapes)."""
+    if not elements or not 0 <= elements[0] < len(call.args):
+        raise AnalysisError(f"cannot materialize path {elements} in call")
+    value = call.args[elements[0]]
+    for element in elements[1:]:
+        if isinstance(value, PtrValue):
+            if value.pointee is None:
+                value.pointee = zero_value(value.ty.elem)
+            value = value.pointee
+        elif isinstance(value, StructValue):
+            value = value.fields[element]
+        elif isinstance(value, ArrayValue):
+            while len(value.elems) <= element:
+                value.elems.append(zero_value(value.ty.elem))
+            value = value.elems[element]
+        else:
+            raise AnalysisError(
+                f"path {elements} descends into a leaf value"
+            )
+    return value
+
+
+def _assign_scalar(leaf: Value, abstract: AbstractValue) -> None:
+    """Set a leaf to a concrete witness of its abstract value."""
+    value = abstract.example()
+    if isinstance(leaf, IntValue):
+        leaf.value = value
+    elif isinstance(leaf, BufferValue):
+        # The branch scalar view of a buffer is its length.
+        length = max(0, min(value, max(leaf.ty.max_len, value)))
+        leaf.data = b"\x00" * length
+    elif isinstance(leaf, PtrValue):
+        # Conditions never address pointers directly in generated
+        # kernels; a NULL check wants address 0 (pointee dropped).
+        if value == 0:
+            leaf.pointee = None
+    # ConstValue: pinned by the spec; nothing to assign.
+
+
+def witness_program(
+    kernel: Kernel,
+    target_block: int,
+    reach: ReachabilityAnalysis | None = None,
+    oracle: DependencyOracle | None = None,
+) -> Program | None:
+    """One-shot helper around :class:`WitnessBuilder`."""
+    return WitnessBuilder(kernel, reach, oracle).witness(target_block)

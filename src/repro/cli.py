@@ -16,6 +16,9 @@ Subcommands mirror the Snowplow workflow::
     python -m repro.cli observe check out/metrics.json --require fuzz.executions
     python -m repro.cli observe check out/metrics.json --slo default
     python -m repro.cli observe report out/ --slo default
+    python -m repro.cli analyze kernel --releases 6.8,6.9,6.10 --strict
+    python -m repro.cli analyze corpus --kernel 6.8 --seed-corpus 100
+    python -m repro.cli analyze oracle --kernel 6.8 --compare-pmm
 """
 
 from __future__ import annotations
@@ -190,9 +193,16 @@ def _cmd_fuzz(args) -> int:
         )
         label = "syzkaller"
     else:
+        analysis = None
+        if args.skip_dead_targets:
+            from repro.analyze import ReachabilityAnalysis
+
+            analysis = ReachabilityAnalysis(kernel, observer=observer)
+            print(f"static analysis: {len(analysis.dead_blocks())} dead "
+                  f"blocks will be skipped as directed targets")
         loop = _build_snowplow_loop(
             kernel, trained, run_seed, config, oracle=oracle,
-            observer=observer,
+            observer=observer, analysis=analysis,
         )
         label = "snowplow"
     seeds = ProgramGenerator(
@@ -203,6 +213,9 @@ def _cmd_fuzz(args) -> int:
     print(f"[{label}] {args.hours:.1f} virtual hours on {kernel.version}: "
           f"{stats.final_edges} edges, {stats.final_blocks} blocks, "
           f"{stats.executions} executions, corpus {stats.corpus_size}")
+    if getattr(stats, "dead_targets_skipped", 0):
+        print(f"  skipped {stats.dead_targets_skipped} statically dead "
+              f"frontier targets")
     for observation in stats.observations[:: max(len(stats.observations) // 8, 1)]:
         print(f"  t={observation.time / 3600.0:5.2f}h "
               f"edges={observation.edges}")
@@ -364,6 +377,175 @@ def _cmd_observe_report(args) -> int:
     return 0
 
 
+# ----- static analysis -----
+
+
+def _analyze_observer(args) -> Observer | None:
+    return Observer() if getattr(args, "observe_dir", None) else None
+
+
+def _finish_analyze(args, findings, observer, context) -> int:
+    """Shared tail of the analyze subcommands: print, write, gate."""
+    from repro.analyze import findings_json, strict_failures
+
+    counts = {"info": 0, "warning": 0, "error": 0}
+    for finding in findings:
+        counts[finding.severity] += 1
+    print(f"{len(findings)} finding(s): "
+          f"{counts['error']} error, {counts['warning']} warning, "
+          f"{counts['info']} info")
+    shown = [f for f in findings if f.severity != "info"][: args.max_print]
+    for finding in shown:
+        print(f"  [{finding.severity}] {finding.check} @ "
+              f"{finding.location}: {finding.message}")
+    remaining = len(findings) - len(shown)
+    if remaining > 0:
+        print(f"  ... {remaining} more (see --out)")
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(findings_json(findings, **context))
+        print(f"findings written to {args.out}")
+    _export_observer(observer, getattr(args, "observe_dir", None))
+    if args.strict and strict_failures(findings):
+        print(f"--strict: {counts['error']} error-severity finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_analyze_kernel(args) -> int:
+    from repro.analyze import (
+        DependencyOracle,
+        ReachabilityAnalysis,
+        run_kernel_checks,
+    )
+
+    releases = [
+        piece for piece in (args.releases or args.kernel).split(",") if piece
+    ]
+    observer = _analyze_observer(args)
+    findings = []
+    for version in releases:
+        kernel = build_kernel(version, seed=args.kernel_seed, size=args.size)
+        reach = ReachabilityAnalysis(kernel, observer=observer)
+        oracle = DependencyOracle(kernel)
+        dead = reach.dead_blocks()
+        namespace = f"{version}/" if len(releases) > 1 else ""
+        findings += run_kernel_checks(
+            kernel, reach, oracle, observer=observer, namespace=namespace,
+        )
+        print(f"kernel {version}: {len(kernel.blocks)} blocks, "
+              f"{len(dead)} statically dead")
+    return _finish_analyze(
+        args, findings, observer,
+        {"scope": "kernel", "releases": releases, "size": args.size,
+         "kernel_seed": args.kernel_seed},
+    )
+
+
+def _cmd_analyze_corpus(args) -> int:
+    from repro.analyze import run_corpus_checks
+
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    observer = _analyze_observer(args)
+    # The same derivation the fuzz subcommand uses, so `analyze corpus`
+    # lints exactly the seed corpus a smoke campaign starts from.
+    run_seed = derive_seed(args.seed, "cli-fuzz", kernel.version)
+    programs = ProgramGenerator(
+        kernel.table, split(run_seed, "seed-corpus")
+    ).seed_corpus(args.seed_corpus)
+    findings = run_corpus_checks(kernel, programs, observer=observer)
+    print(f"corpus: {len(programs)} programs "
+          f"({sum(len(p.calls) for p in programs)} calls) on "
+          f"kernel {kernel.version}")
+    return _finish_analyze(
+        args, findings, observer,
+        {"scope": "corpus", "releases": [kernel.version],
+         "size": args.size, "kernel_seed": args.kernel_seed,
+         "seed": args.seed, "seed_corpus": args.seed_corpus},
+    )
+
+
+def _cmd_analyze_oracle(args) -> int:
+    from repro.analyze import StaticOracleLocalizer, static_truths
+    from repro.pmm import evaluate_selector
+    from repro.snowplow import format_table1
+
+    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    trained = train_pmm(
+        kernel,
+        seed=args.seed,
+        corpus_size=args.corpus_size,
+        dataset_config=DatasetConfig(
+            mutations_per_test=args.mutations,
+            seed=derive_seed(args.seed, "d"),
+        ),
+        pmm_config=PMMConfig(dim=args.dim, seed=derive_seed(args.seed, "m")),
+        train_config=TrainConfig(
+            epochs=args.epochs if args.compare_pmm else 0,
+            seed=derive_seed(args.seed, "t"),
+        ),
+    )
+    dataset = trained.dataset
+    holdout = dataset.evaluation[: args.eval_limit]
+    if not holdout:
+        print("dataset produced no evaluation examples", file=sys.stderr)
+        return 2
+    localizer = StaticOracleLocalizer(kernel)
+    truths = static_truths(localizer, dataset.programs, holdout)
+    oracle_predictions = [
+        set(localizer.target_paths(
+            dataset.programs[example.base_index], example.targets
+        ))
+        for example in holdout
+    ]
+    oracle_metrics = evaluate_selector(oracle_predictions, truths)
+    print(f"static oracle on {len(holdout)} eval examples "
+          f"(kernel {kernel.version}): "
+          f"precision {oracle_metrics.precision:.3f}, "
+          f"recall {oracle_metrics.recall:.3f}")
+    if args.compare_pmm:
+        from repro.fuzzer import RandomLocalizer
+        from repro.rng import make_rng
+
+        pmm_predictions = [
+            set(trained.model.predict_paths(
+                dataset.encode_example(example, kernel, trained.encoder)
+            ))
+            for example in holdout
+        ]
+        pmm_metrics = evaluate_selector(pmm_predictions, truths)
+        k = max(1, round(sum(len(t) for t in truths) / len(truths)))
+        rng = make_rng(derive_seed(args.seed, "rand-baseline"))
+        random_predictions = [
+            set(RandomLocalizer(k).localize(
+                dataset.programs[example.base_index], None, None, rng
+            ))
+            for example in holdout
+        ]
+        random_metrics = evaluate_selector(random_predictions, truths)
+        print(format_table1(
+            pmm_metrics, random_metrics, f"Rand.{k}",
+            static_oracle=oracle_metrics,
+        ))
+    if args.out:
+        payload = {
+            "kernel": kernel.version,
+            "examples": len(holdout),
+            "oracle": {
+                "f1": oracle_metrics.f1,
+                "precision": oracle_metrics.precision,
+                "recall": oracle_metrics.recall,
+                "jaccard": oracle_metrics.jaccard,
+            },
+        }
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"metrics written to {args.out}")
+    return 0 if oracle_metrics.precision == oracle_metrics.recall == 1.0 else 1
+
+
 def _cmd_exec(args) -> int:
     kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
     with open(args.prog) as handle:
@@ -444,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serving-tier max batch size (1 disables batching)")
     p.add_argument("--observe-dir", default=None,
                    help="export trace/metrics/flame telemetry here")
+    p.add_argument("--skip-dead-targets", action="store_true",
+                   help="run static reachability analysis first and never "
+                        "pick statically dead blocks as directed targets "
+                        "(single-worker Snowplow mode)")
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("cluster", help="run the fleet-size scaling sweep")
@@ -522,6 +708,64 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the report to this file")
     q.add_argument("--title", default="campaign health report")
     q.set_defaults(func=_cmd_observe_report)
+
+    p = sub.add_parser("analyze",
+                       help="static kernel/program analysis and lints")
+    analyze_sub = p.add_subparsers(dest="analyze_command", required=True)
+
+    def _add_analyze_common(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--strict", action="store_true",
+                       help="exit 1 if any error-severity finding fires")
+        q.add_argument("--out", default=None,
+                       help="write canonical findings.json here")
+        q.add_argument("--max-print", type=int, default=20,
+                       help="max findings echoed to stdout")
+        q.add_argument("--observe-dir", default=None,
+                       help="export analysis telemetry here")
+
+    q = analyze_sub.add_parser(
+        "kernel",
+        help="reachability, dependency, and lint checks over kernels",
+    )
+    _add_kernel_args(q)
+    q.add_argument("--releases", default=None,
+                   help="comma-separated kernel versions to analyse "
+                        "(overrides --kernel; findings get a "
+                        "version/ location prefix)")
+    _add_analyze_common(q)
+    q.set_defaults(func=_cmd_analyze_kernel)
+
+    q = analyze_sub.add_parser(
+        "corpus",
+        help="lint the seed corpus a fuzzing campaign would start from",
+    )
+    _add_kernel_args(q)
+    q.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (matches the fuzz subcommand)")
+    q.add_argument("--seed-corpus", type=int, default=100,
+                   help="corpus size to generate and lint")
+    _add_analyze_common(q)
+    q.set_defaults(func=_cmd_analyze_corpus)
+
+    q = analyze_sub.add_parser(
+        "oracle",
+        help="score the static dependency oracle as a localizer "
+             "(the Table-1 upper bound)",
+    )
+    _add_kernel_args(q)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--corpus-size", type=int, default=40)
+    q.add_argument("--mutations", type=int, default=80)
+    q.add_argument("--epochs", type=int, default=2)
+    q.add_argument("--dim", type=int, default=32)
+    q.add_argument("--eval-limit", type=int, default=200,
+                   help="max evaluation examples to score")
+    q.add_argument("--compare-pmm",
+                   action="store_true",
+                   help="also train a PMM and print the Table-1 gap")
+    q.add_argument("--out", default=None,
+                   help="write oracle metrics JSON here")
+    q.set_defaults(func=_cmd_analyze_oracle)
 
     p = sub.add_parser("exec", help="execute a syz-format program")
     _add_kernel_args(p)

@@ -17,6 +17,7 @@ tree::
     │   └── InferenceTimeout serving request exhausted its retries
     │                        [TimeoutError]
     ├── DatasetError         dataset pipeline misconfigured/empty
+    ├── AnalysisError        static analysis driven incorrectly
     └── CampaignError        experiment harness misconfigured
         └── CheckpointError  campaign checkpoint missing/corrupt/unwritable
 
@@ -95,6 +96,12 @@ class InferenceTimeout(ModelError, TimeoutError):
 
 class DatasetError(ReproError):
     """The mutation dataset pipeline was misconfigured or produced no data."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis pass was driven incorrectly or hit an
+    internal contradiction (e.g. asked to concretize an empty abstract
+    value)."""
 
 
 class CampaignError(ReproError):

@@ -43,15 +43,48 @@ class SyzDirectLocalizer:
     falls back to arguments of upstream resource producers, then to any
     argument — encoding the "mutate upstream calls that enable the right
     downstream call" heuristic described in §2.
+
+    With a :class:`~repro.analyze.deps.DependencyOracle` attached, the
+    heuristic is bypassed whenever the oracle derives exact steering
+    slots for the target on this program: the statically-sliced
+    ``(syscall, path)`` sites are returned directly (deterministically,
+    no rng draw), and the heuristic only handles targets or programs the
+    slice does not cover.
     """
 
-    def __init__(self, target_syscall: str, k: int = 2):
+    def __init__(self, target_syscall: str, k: int = 2, oracle=None):
         self.target_syscall = target_syscall
         self.k = k
+        self.oracle = oracle
 
     def localize(self, program, coverage, targets, rng) -> list[ArgPath]:
-        """Sites on target-syscall calls first, then their upstream
-        resource producers, then anything."""
+        """Oracle slots when sliced, else sites on target-syscall calls
+        first, then their upstream resource producers, then anything."""
+        if self.oracle is not None and targets:
+            exact: list[ArgPath] = []
+            pending: list[ArgPath] = []
+            seen: set[ArgPath] = set()
+            seen_pending: set[ArgPath] = set()
+            for target in sorted(targets):
+                deps = self.oracle.dependencies(target)
+                for path in deps.steering_paths(program):
+                    if path not in seen:
+                        seen.add(path)
+                        exact.append(path)
+                for path in deps.pending_paths(program):
+                    if path not in seen_pending:
+                        seen_pending.add(path)
+                        pending.append(path)
+            # Only the still-violated slots: re-randomizing slots the
+            # base already satisfies would throw that progress away.
+            # Never truncated to k either — every slot is *mandatory*,
+            # so a deterministic cap would permanently starve the slots
+            # beyond it.  All-satisfied programs (state deps, or a
+            # not-taken edge) fall back to the full slot set.
+            if pending:
+                return pending
+            if exact:
+                return exact
         sites = program.mutation_sites()
         if not sites:
             return []
@@ -104,6 +137,10 @@ class DirectedFuzzer:
         # for a learned localizer; reproduces Table 5's slight slowdowns
         # on trivial targets.
         mutation_overhead: float = 0.0,
+        # Optional repro.analyze.ReachabilityAnalysis: shares its
+        # memoized reverse-BFS distance maps instead of recomputing one
+        # per fuzzer instance.
+        analysis=None,
     ):
         if target_block not in kernel.blocks:
             raise CampaignError(f"unknown target block {target_block}")
@@ -119,7 +156,10 @@ class DirectedFuzzer:
         self.insert_target_prob = insert_target_prob
         self.mutation_overhead = mutation_overhead
         self.instantiator = ArgumentInstantiator(generator, rng)
-        self.distance = kernel.distance_to(target_block)
+        if analysis is not None:
+            self.distance = analysis.distance_to(target_block)
+        else:
+            self.distance = kernel.distance_to(target_block)
         self.corpus = Corpus()
         self._closeness: list[int] = []
 

@@ -67,6 +67,9 @@ _FUZZ_COUNTERS = (
     "breaker_trips",
     # Times this run was restored from a campaign checkpoint.
     "resumes",
+    # Frontier targets dropped because static analysis proved them
+    # unreachable (repro.analyze; only with an attached analysis).
+    "dead_targets_skipped",
     # --- cluster accounting (repro.cluster) ---
     # Corpus-hub sync round-trips, and entries pushed to / pulled from
     # the hub by this worker.

@@ -272,6 +272,7 @@ def _build_snowplow_loop(
     service=None,
     observer: Observer | None = None,
     worker: int = 0,
+    analysis=None,
 ) -> SnowplowLoop:
     executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
     generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
@@ -296,7 +297,7 @@ def _build_snowplow_loop(
         split(run_seed, "loop"), sample_interval=config.sample_interval,
         localizer=localizer, snowplow_config=config.snowplow,
         injector=injector, service=service, observer=observer,
-        worker=worker,
+        worker=worker, analysis=analysis,
     )
 
 
@@ -816,8 +817,15 @@ def run_directed_campaign(
     trained: TrainedPMM,
     targets: list[int],
     config: CampaignConfig,
+    oracle=None,
+    analysis=None,
 ) -> dict[int, dict[str, list[DirectedResult]]]:
-    """Table 5: per-target time-to-reach for SyzDirect vs Snowplow-D."""
+    """Table 5: per-target time-to-reach for SyzDirect vs Snowplow-D.
+
+    ``oracle``/``analysis`` (from :mod:`repro.analyze`) upgrade the
+    SyzDirect mode to exact static steering slots and shared distance
+    maps; both default to None so baseline runs stay byte-identical.
+    """
     if not targets:
         raise CampaignError("directed campaign needs at least one target")
     results: dict[int, dict[str, list[DirectedResult]]] = {}
@@ -837,7 +845,9 @@ def run_directed_campaign(
                     kernel.table, split(run_seed, "gen", mode)
                 )
                 if mode == "syzdirect":
-                    localizer = SyzDirectLocalizer(target_syscall)
+                    localizer = SyzDirectLocalizer(
+                        target_syscall, oracle=oracle
+                    )
                     overhead = 0.0
                 else:
                     localizer = PMMLocalizer(
@@ -857,6 +867,7 @@ def run_directed_campaign(
                     cost=config.cost,
                     rng=split(run_seed, "loop", mode),
                     mutation_overhead=overhead,
+                    analysis=analysis,
                 )
                 fuzzer.seed([program.clone() for program in seeds])
                 per_mode[mode].append(fuzzer.run())

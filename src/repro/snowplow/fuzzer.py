@@ -188,11 +188,17 @@ class SnowplowLoop(FuzzLoop):
         localizer: PMMLocalizer,
         snowplow_config: SnowplowConfig | None = None,
         service=None,
+        analysis=None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
         self.pmm_localizer = localizer
         self.snowplow_config = snowplow_config or SnowplowConfig()
+        # Optional repro.analyze.ReachabilityAnalysis: frontier targets
+        # it proves statically dead are dropped before they waste a
+        # mutation query (fuzz.dead_targets_skipped counts them).  None
+        # keeps target selection byte-identical to earlier baselines.
+        self.analysis = analysis
         cfg = self.snowplow_config
         latency = self.cost.inference_latency
         # A cluster hands every worker a view onto one shared serving
@@ -273,6 +279,13 @@ class SnowplowLoop(FuzzLoop):
 
         frontier = self.kernel.frontier(coverage.blocks)
         fresh = sorted(frontier - self.accumulated.blocks)
+        if self.analysis is not None and fresh:
+            live = [
+                block for block in fresh
+                if not self.analysis.is_dead(block)
+            ]
+            self.stats.dead_targets_skipped += len(fresh) - len(live)
+            fresh = live
         if not fresh:
             return None
         steerable = [

@@ -46,15 +46,33 @@ _TABLE3_NAMES = {
 
 
 def format_table1(
-    pmm: SelectorMetrics, baseline: SelectorMetrics, baseline_name: str
+    pmm: SelectorMetrics,
+    baseline: SelectorMetrics,
+    baseline_name: str,
+    static_oracle: SelectorMetrics | None = None,
 ) -> str:
-    """Table 1: promising-arguments selector performance."""
+    """Table 1: promising-arguments selector performance.
+
+    ``static_oracle`` adds the upper-bound row from
+    :class:`~repro.analyze.StaticOracleLocalizer` — exact by
+    construction against the static ground truth — plus the gap between
+    PMM and the statically attainable maximum.
+    """
     lines = [
         "Table 1. Promising arguments selector performance.",
         f"{'Selector':<10} {'F1':>6} {'Precision':>9} {'Recall':>6} {'Jaccard':>7}",
-        pmm.row("PMModel"),
-        baseline.row(baseline_name),
     ]
+    if static_oracle is not None:
+        lines.append(static_oracle.row("StaticOrc"))
+    lines.append(pmm.row("PMModel"))
+    lines.append(baseline.row(baseline_name))
+    if static_oracle is not None:
+        lines.append(
+            f"PMM vs static upper bound: "
+            f"F1 -{(static_oracle.f1 - pmm.f1) * 100:.1f}pp, "
+            f"precision -{(static_oracle.precision - pmm.precision) * 100:.1f}pp, "
+            f"recall -{(static_oracle.recall - pmm.recall) * 100:.1f}pp"
+        )
     return "\n".join(lines)
 
 
