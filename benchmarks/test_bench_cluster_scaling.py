@@ -1,6 +1,6 @@
 """Cluster bench: coverage vs fleet size, and the batching win.
 
-Two acceptance experiments for `repro.cluster`:
+Three acceptance experiments for `repro.cluster`:
 
 - the scaling sweep must show a 4-worker fleet reaching strictly more
   fleet-union coverage than a single worker at the same per-worker
@@ -8,12 +8,19 @@ Two acceptance experiments for `repro.cluster`:
 - the dynamically batched serving tier must complete more requests than
   an unbatched service with the same single-request latency and slot
   count under saturating load (batching actually raises throughput
-  above ``servers / latency``).
+  above ``servers / latency``);
+- the PR-6 fleet gate: a 64-worker / 4-shard fleet whose per-worker hub
+  cost stays flat as the fleet widens (the sharded hub scales
+  sublinearly) and whose serving tier, under load shedding, keeps the
+  p95 queue delay no worse than the PR-4 single-loop figure (~2260
+  virtual seconds), all pinned by the committed ``BENCH_PR6.json``
+  baseline via ``flag_regressions``.
 
-Runs on a small kernel with the oracle localizer so the CI smoke job
-can afford it; the shapes, not the absolute numbers, are the claims.
+Runs on small/tiny kernels with the oracle localizer so the CI smoke
+job can afford it; the shapes, not the absolute numbers, are the claims.
 """
 
+import json
 import os
 
 import pytest
@@ -21,10 +28,20 @@ import pytest
 from benchmarks.conftest import RESULTS_DIR, write_metrics, write_result
 from repro.cluster import ClusterConfig
 from repro.kernel import build_kernel
+from repro.observe import flag_regressions
 from repro.pmm.serve import BatchingInferenceService, InferenceService
-from repro.snowplow import CampaignConfig, format_scaling, run_scaling_campaign
+from repro.snowplow import (
+    CampaignConfig,
+    SnowplowConfig,
+    format_scaling,
+    run_scaling_campaign,
+)
 
 HORIZON = 2400.0
+PR6_BASELINE = os.path.join(RESULTS_DIR, "BENCH_PR6.json")
+# PR-4's measured serve.queue_delay/p95 — the shedding tier must hold
+# the fleet at or below the single-loop era's tail latency.
+PR4_QUEUE_DELAY_P95 = 2260.5
 
 
 @pytest.fixture(scope="module")
@@ -124,3 +141,93 @@ def test_bench_batching_throughput(benchmark):
         "bench.cap_qps.batched": batched.saturation_throughput,
         "bench.cap_qps.unbatched": plain.saturation_throughput,
     })
+
+
+def test_bench_pr6_fleet_scaling(benchmark):
+    """PR 6 gate: 64 workers, 4 hub shards, shedding serving tier."""
+    kernel = build_kernel("6.8", seed=1, size="tiny")
+    config = CampaignConfig(
+        horizon=HORIZON, runs=1, seed=11, seed_corpus_size=10,
+        sample_interval=300.0,
+        snowplow=SnowplowConfig(shed_timeout_factor=2.8),
+    )
+    counts = (1, 8, 64)
+
+    def run():
+        return run_scaling_campaign(
+            kernel, None, config, worker_counts=counts,
+            cluster_config=ClusterConfig(
+                workers=64, sync_interval=300.0, shards=4,
+            ),
+            oracle=True, observe=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    edges = result.final_edges()
+    by_count = {point.workers: point.result for point in result.points}
+
+    def sync_seconds_per_worker(count):
+        cluster = by_count[count]
+        total = sum(stats.hub_syncs for stats in cluster.worker_stats)
+        return total * config.cost.hub_sync / count
+
+    widest = by_count[64]
+    service = widest.service_stats
+    per_worker_8 = sync_seconds_per_worker(8)
+    per_worker_64 = sync_seconds_per_worker(64)
+
+    baseline = None
+    if os.path.exists(PR6_BASELINE):
+        with open(PR6_BASELINE) as handle:
+            baseline = json.load(handle)
+
+    metrics = {
+        # "delay" marks this higher-is-worse for flag_regressions.
+        "bench.fleet.queue_delay_p95": round(
+            service.queue_delay.p95, 3
+        ),
+        "bench.fleet.final_edges_1": float(edges[1]),
+        "bench.fleet.final_edges_8": float(edges[8]),
+        "bench.fleet.final_edges_64": float(edges[64]),
+        "bench.fleet.hub_sync_seconds_per_worker_8": round(per_worker_8, 3),
+        "bench.fleet.hub_sync_seconds_per_worker_64": round(
+            per_worker_64, 3
+        ),
+        "bench.fleet.shed_requests_64": float(service.shed),
+        "bench.fleet.bloom_skips_64": float(widest.hub_stats.bloom_skips),
+    }
+    fresh_path = write_metrics("BENCH_PR6.json", metrics)
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+
+    write_result(
+        "BENCH_PR6.txt",
+        "\n".join([
+            "PR 6 fleet gate (64 workers, 4 hub shards, shedding tier).",
+            "",
+            format_scaling(result),
+            "",
+            f"hub sync s/worker: {per_worker_8:.1f} @8 -> "
+            f"{per_worker_64:.1f} @64 "
+            f"(x{per_worker_64 / max(per_worker_8, 1e-9):.2f})",
+            f"serve queue delay p95: {service.queue_delay.p95:.1f}s "
+            f"(PR-4 figure {PR4_QUEUE_DELAY_P95:.1f}s), "
+            f"{service.shed} request(s) shed",
+            f"bloom pre-dedup skips: {widest.hub_stats.bloom_skips}",
+        ]),
+    )
+
+    # Fleet width keeps buying coverage, monotonically.
+    assert edges[8] > edges[1]
+    assert edges[64] >= edges[8]
+    # Sharded hub: per-worker sync cost stays flat as the fleet widens
+    # 8x (sublinear total cost in fleet size).
+    assert per_worker_64 <= 1.1 * per_worker_8
+    # Admission control holds the tail: no worse than the PR-4 figure.
+    assert service.queue_delay.p95 <= PR4_QUEUE_DELAY_P95
+    # The bloom pre-dedup path is actually exercised at fleet scale.
+    assert widest.hub_stats.bloom_skips > 0
+
+    if baseline is None:
+        baseline = fresh
+    assert flag_regressions(baseline, fresh) == []

@@ -52,7 +52,9 @@ from repro.snowplow import (
     CampaignConfig,
     SnowplowConfig,
     build_cluster,
+    format_chaos,
     format_scaling,
+    run_chaos_campaign,
     run_scaling_campaign,
     train_pmm,
 )
@@ -148,6 +150,9 @@ def _cmd_fuzz(args) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     config = _fuzz_config(args, batch_size=args.batch_size)
     run_seed = derive_seed(args.seed, "cli-fuzz", kernel.version)
     oracle = args.oracle
@@ -161,7 +166,9 @@ def _cmd_fuzz(args) -> int:
     if args.workers > 1:
         cluster = build_cluster(
             kernel, trained, run_seed, config,
-            cluster_config=ClusterConfig(workers=args.workers),
+            cluster_config=ClusterConfig(
+                workers=args.workers, shards=args.shards,
+            ),
             baseline=args.baseline, oracle=oracle, observer=observer,
         )
         result = cluster.run()
@@ -228,6 +235,8 @@ def _cmd_fuzz(args) -> int:
 
 def _cmd_cluster(args) -> int:
     kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    if args.mode == "chaos":
+        return _cmd_cluster_chaos(args, kernel)
     try:
         counts = tuple(
             int(piece) for piece in args.worker_counts.split(",") if piece
@@ -247,7 +256,9 @@ def _cmd_cluster(args) -> int:
         kernel, trained, config,
         worker_counts=counts,
         cluster_config=ClusterConfig(
-            workers=max(counts), sync_interval=args.sync_interval
+            workers=max(counts), sync_interval=args.sync_interval,
+            shards=args.shards,
+            heartbeat_deadline=args.heartbeat_deadline,
         ),
         baseline=args.baseline, oracle=oracle,
         observe=bool(args.observe_dir),
@@ -262,6 +273,41 @@ def _cmd_cluster(args) -> int:
                 Path(args.observe_dir) / f"workers{point.workers}",
             )
     return 0
+
+
+def _cmd_cluster_chaos(args, kernel) -> int:
+    """The chaos gate: one supervised fleet under the seeded fault plan,
+    exiting non-zero unless every robustness invariant holds."""
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    config = _fuzz_config(args, batch_size=args.batch_size)
+    oracle = args.oracle
+    trained = _load_trained(args, kernel)
+    if trained is None and not (args.baseline or oracle):
+        return 2
+    deadline = (
+        args.heartbeat_deadline
+        if args.heartbeat_deadline is not None else 900.0
+    )
+    result = run_chaos_campaign(
+        kernel, trained, config,
+        cluster_config=ClusterConfig(
+            workers=args.workers, sync_interval=args.sync_interval,
+            shards=args.shards, heartbeat_deadline=deadline,
+        ),
+        baseline=args.baseline, oracle=oracle,
+        observe=bool(args.observe_dir),
+    )
+    print(format_chaos(result))
+    if args.observe_dir and result.observer is not None:
+        if result.observer.slo is None:
+            result.observer.slo = SLOEngine(DEFAULT_PACKS["supervision"]())
+        _export_observer(result.observer, args.observe_dir)
+    return 0 if result.passed() else 1
 
 
 # ----- telemetry post-processing -----
@@ -622,6 +668,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed-corpus", type=int, default=100)
     p.add_argument("--workers", type=int, default=1,
                    help="fleet size; >1 runs a hub-synced cluster")
+    p.add_argument("--shards", type=int, default=1,
+                   help="corpus-hub shards; >1 enables the sharded hub "
+                        "(cluster mode only)")
     p.add_argument("--batch-size", type=int, default=None,
                    help="serving-tier max batch size (1 disables batching)")
     p.add_argument("--observe-dir", default=None,
@@ -632,8 +681,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(single-worker Snowplow mode)")
     p.set_defaults(func=_cmd_fuzz)
 
-    p = sub.add_parser("cluster", help="run the fleet-size scaling sweep")
+    p = sub.add_parser(
+        "cluster",
+        help="fleet campaigns: the scaling sweep or the chaos gate",
+    )
     _add_kernel_args(p)
+    p.add_argument("mode", nargs="?", choices=("scale", "chaos"),
+                   default="scale",
+                   help="scale: fleet-size sweep; chaos: supervised fleet "
+                        "under the seeded fault plan (exit 1 on any "
+                        "invariant violation)")
     p.add_argument("--model", help="PMM checkpoint (Snowplow mode)")
     p.add_argument("--baseline", action="store_true",
                    help="sweep plain Syzkaller fleets instead of Snowplow")
@@ -644,7 +701,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--seed-corpus", type=int, default=100)
     p.add_argument("--worker-counts", default="1,2,4,8",
-                   help="comma-separated fleet sizes to sweep")
+                   help="comma-separated fleet sizes to sweep (scale mode)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="fleet size (chaos mode)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="corpus-hub shards; >1 enables the sharded hub")
+    p.add_argument("--heartbeat-deadline", type=float, default=None,
+                   help="virtual seconds of worker silence before the "
+                        "supervisor restarts it (chaos mode defaults to 900)")
     p.add_argument("--sync-interval", type=float, default=600.0,
                    help="virtual seconds between hub syncs")
     p.add_argument("--batch-size", type=int, default=None,

@@ -4,7 +4,10 @@ The paper runs Snowplow as a fleet: many fuzzing VMs sharing a corpus
 (via a syz-hub analogue) and a central batched GPU serving tier (§3.4,
 §5.5).  This package reproduces that topology over virtual time —
 bit-reproducibly, so scaling experiments and checkpoint/resume stay
-exact science rather than wall-clock accidents.
+exact science rather than wall-clock accidents.  The resilience layer
+(:mod:`~repro.cluster.supervise`, :mod:`~repro.cluster.shards`) keeps
+the fleet making coverage progress while individual workers hang,
+crash, get partitioned from the hub, or lose a hub shard.
 """
 
 from repro.cluster.hub import CorpusHub, HubEntry, HubStats
@@ -16,16 +19,22 @@ from repro.cluster.scheduler import (
     ClusterWorker,
 )
 from repro.cluster.serving import SharedInferenceTier, WorkerServiceView
+from repro.cluster.shards import BloomFilter, ShardedHub, signature_digest
+from repro.cluster.supervise import FleetSupervisor
 
 __all__ = [
+    "BloomFilter",
     "ClusterConfig",
     "ClusterFuzzer",
     "ClusterResult",
     "ClusterScheduler",
     "ClusterWorker",
     "CorpusHub",
+    "FleetSupervisor",
     "HubEntry",
     "HubStats",
     "SharedInferenceTier",
+    "ShardedHub",
     "WorkerServiceView",
+    "signature_digest",
 ]

@@ -45,8 +45,15 @@ class HubEntry:
     epoch: int
 
 
-# Every HubStats counter: a ``hub.<name>`` registry series.
-_HUB_COUNTERS = ("pushes", "accepted", "duplicates", "pulls", "pulled_entries")
+# Every HubStats counter: a ``hub.<name>`` registry series.  The first
+# five are the core sync protocol; the rest are the fleet-resilience
+# accounting paths (partition retries/drops, bloom pre-dedup, shard
+# failover) so nothing fails silently.
+_HUB_COUNTERS = (
+    "pushes", "accepted", "duplicates", "pulls", "pulled_entries",
+    "sync_failures", "dropped_entries", "bloom_skips",
+    "lost_entries", "failovers", "reconciled",
+)
 
 
 class HubStats:

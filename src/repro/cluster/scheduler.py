@@ -44,6 +44,16 @@ class ClusterConfig:
     sync_interval: float = 600.0
     # Cost charged per sync round-trip; None uses ``CostModel.hub_sync``.
     sync_cost: float | None = None
+    # Corpus-hub shards; >1 builds a ShardedHub with failover.
+    shards: int = 1
+    # Heartbeat liveness: a worker whose last progress is older than
+    # this is declared dead and restarted.  None disables supervision.
+    heartbeat_deadline: float | None = None
+    # Supervisor check cadence; None defaults to half the deadline.
+    supervise_interval: float | None = None
+    # Failed hub sync rounds tolerated (per partition) before the push
+    # batch is dropped with ``hub.dropped_entries`` accounting.
+    max_sync_retries: int = 2
 
     def __post_init__(self):
         if self.workers < 1:
@@ -51,6 +61,22 @@ class ClusterConfig:
         if self.sync_interval <= 0:
             raise ValueError(
                 f"sync_interval must be positive, got {self.sync_interval}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"need at least one hub shard, got {self.shards}")
+        if self.heartbeat_deadline is not None and self.heartbeat_deadline <= 0:
+            raise ValueError(
+                f"heartbeat_deadline must be positive, got "
+                f"{self.heartbeat_deadline}"
+            )
+        if self.supervise_interval is not None and self.supervise_interval <= 0:
+            raise ValueError(
+                f"supervise_interval must be positive, got "
+                f"{self.supervise_interval}"
+            )
+        if self.max_sync_retries < 0:
+            raise ValueError(
+                f"max_sync_retries must be >= 0, got {self.max_sync_retries}"
             )
 
 
@@ -64,6 +90,8 @@ class ClusterWorker:
         hub: CorpusHub,
         sync_interval: float = 600.0,
         sync_cost: float | None = None,
+        injector=None,
+        max_sync_retries: int = 2,
     ):
         self.worker_id = worker_id
         self.loop = loop
@@ -78,23 +106,79 @@ class ClusterWorker:
         # Corpus entries already offered to the hub (a prefix: pulled
         # entries are appended past this mark and never pushed back).
         self._synced_entries = 0
+        # Cluster-level fault state (see repro.faults site table).
+        self.injector = injector
+        self.max_sync_retries = max_sync_retries
+        self.killed = False
+        # Incarnation number; bumped by the supervisor on each restart.
+        self.generation = 0
+        # Birth time of this incarnation.  Hang windows are process-
+        # scoped: a restart after the window opened is a fresh VM and
+        # immune to it (the supervisor's restart actually cures hangs).
+        self.born = 0.0
+        # Heartbeat: virtual time of the last productive step.  Hung and
+        # dead workers stop advancing it, which is what the supervisor's
+        # deadline detects.
+        self.last_progress = 0.0
+        self._sync_failures = 0
+        # Corpus indices whose push batch was dropped under partition;
+        # re-offered at flush so the hub union loses nothing.
+        self.dropped: list[int] = []
+        # Kill-window starts already fired (a kill is an event, not an
+        # outage: it must not re-fire on the restarted incarnation).
+        self._consumed_kills: set[float] = set()
 
     def step(self) -> bool:
         """One scheduler quantum: a hub sync if one is due, otherwise a
-        fuzz-loop iteration.  Returns False once the clock expired."""
-        if self.loop.clock.expired():
+        fuzz-loop iteration.  Returns False once the worker stops
+        running — clock expired, or killed by a fault."""
+        clock = self.loop.clock
+        if self.killed or clock.expired():
             return False
-        if self.loop.clock.now >= self.next_sync:
+        now = clock.now
+        if self._kill_due(now):
+            self.killed = True
+            if self.loop.tracer is not None:
+                self.loop.tracer.instant(
+                    self.loop.track, "worker_killed", now, cat="fault",
+                    generation=self.generation,
+                )
+            return False
+        if self.injector is not None:
+            hang_start = self.injector.plan.hang_start(self.worker_id, now)
+            if hang_start is not None and self.born <= hang_start:
+                # Wedged: virtual time passes but no work happens and
+                # the heartbeat goes stale, which is what the
+                # supervisor sees.
+                clock.advance(self.loop.cost.test_execution, "hung")
+                return True
+        if now >= self.next_sync:
             self.sync()
         else:
             self.loop._iterate()
+        self.last_progress = clock.now
         return True
+
+    def _kill_due(self, now: float) -> bool:
+        if self.injector is None:
+            return False
+        for start in self.injector.plan.kill_times(self.worker_id):
+            if start <= now and start not in self._consumed_kills:
+                self._consumed_kills.add(start)
+                return True
+        return False
 
     def sync(self) -> None:
         """One hub round-trip: push fresh corpus entries, pull the rest
         of the fleet's, merge their coverage, pay the sync cost."""
         loop = self.loop
         start = loop.clock.now
+        if self.injector is not None and self.injector.in_window(
+            f"hub_partition:{self.worker_id}", start
+        ):
+            self._sync_partitioned(start)
+            return
+        self._sync_failures = 0
         fresh = loop.corpus.entries[self._synced_entries:]
         accepted = self.hub.push(self.worker_id, fresh, loop.clock.now)
         pulled, self.sync_epoch = self.hub.pull(
@@ -129,12 +213,55 @@ class ClusterWorker:
         while self.next_sync <= loop.clock.now:
             self.next_sync += self.sync_interval
 
+    def _sync_partitioned(self, start: float) -> None:
+        """A sync round-trip that cannot reach the hub.
+
+        The worker still pays the round-trip cost (it tried), counts
+        the failure, and after ``max_sync_retries`` consecutive failed
+        rounds drops the pending push batch — visibly, through the
+        ``hub.dropped_entries`` counter and a tracer instant, never
+        silently.  Dropped entries are remembered and re-offered at
+        flush, so a recovered partition loses no coverage.
+        """
+        loop = self.loop
+        self._sync_failures += 1
+        self.hub.stats.sync_failures += 1
+        loop.clock.advance(self.sync_cost, "hub_sync")
+        if self._sync_failures > self.max_sync_retries:
+            fresh = list(
+                range(self._synced_entries, len(loop.corpus.entries))
+            )
+            if fresh:
+                self.dropped.extend(fresh)
+                self.hub.stats.dropped_entries += len(fresh)
+                self._synced_entries = len(loop.corpus.entries)
+                if loop.tracer is not None:
+                    loop.tracer.instant(
+                        loop.track, "hub_dropped", loop.clock.now,
+                        cat="fault", entries=len(fresh),
+                    )
+            self._sync_failures = 0
+        if loop.tracer is not None:
+            loop.tracer.record(
+                loop.track, "hub_sync_failed", start, loop.clock.now,
+                cat="hub_sync", retries=self._sync_failures,
+            )
+        while self.next_sync <= loop.clock.now:
+            self.next_sync += self.sync_interval
+
     def flush(self) -> None:
         """Final push at the horizon (no pull, no time charge) so the
-        hub union reflects everything the fleet found."""
-        fresh = self.loop.corpus.entries[self._synced_entries:]
+        hub union reflects everything the fleet found.  Batches dropped
+        under partition are re-offered first; a worker that died and was
+        never restarted cannot flush."""
+        if self.killed:
+            return
+        corpus = self.loop.corpus.entries
+        fresh = [corpus[index] for index in self.dropped]
+        fresh += corpus[self._synced_entries:]
         accepted = self.hub.push(self.worker_id, fresh, self.loop.clock.now)
-        self._synced_entries = len(self.loop.corpus.entries)
+        self.dropped = []
+        self._synced_entries = len(corpus)
         self.loop.stats.hub_pushed += accepted
 
 
@@ -148,22 +275,40 @@ class ClusterScheduler:
             raise ValueError(f"duplicate worker ids: {ids}")
         self._by_id = {worker.worker_id: worker for worker in self.workers}
 
-    def run_until(self, time: float) -> None:
+    def run_until(self, time: float, supervisor=None) -> None:
         """Step workers in deterministic order until every clock reaches
-        ``time`` (or its horizon)."""
+        ``time`` (or its horizon).
+
+        With a supervisor attached, its checks interleave with worker
+        events in virtual-time order: before each event the supervisor
+        runs every check due up to that event, and workers it restarts
+        re-enter the heap.  When the heap drains while dead workers
+        remain, checks keep firing into the future until the deadline
+        detector revives them (or the horizon passes).
+        """
         heap: list[tuple[float, int]] = []
         for worker in self.workers:
             clock = worker.loop.clock
-            if not clock.expired() and clock.now < time:
+            if not worker.killed and not clock.expired() and clock.now < time:
                 heapq.heappush(heap, (clock.now, worker.worker_id))
-        while heap:
+        while True:
+            if supervisor is not None:
+                up_to = heap[0][0] if heap else time
+                for revived in supervisor.poll(up_to, bool(heap)):
+                    clock = revived.loop.clock
+                    if not clock.expired() and clock.now < time:
+                        heapq.heappush(
+                            heap, (clock.now, revived.worker_id)
+                        )
+            if not heap:
+                break
             _, worker_id = heapq.heappop(heap)
             worker = self._by_id[worker_id]
             clock = worker.loop.clock
             if clock.expired() or clock.now >= time:
                 continue
-            worker.step()
-            if not clock.expired() and clock.now < time:
+            alive = worker.step()
+            if alive and not clock.expired() and clock.now < time:
                 heapq.heappush(heap, (clock.now, worker_id))
 
 
@@ -190,6 +335,28 @@ class ClusterResult:
     def final_blocks(self) -> int:
         return self.hub_blocks
 
+    def signature(self) -> tuple:
+        """A compact fingerprint of everything determinism must preserve:
+        fleet totals, per-worker counters, and the hub growth timeline.
+        Two runs (or a run and its resumed twin) match iff these do."""
+        return (
+            self.final_edges,
+            self.final_blocks,
+            self.merged.executions,
+            self.merged.mutations,
+            tuple(
+                (
+                    stats.executions, stats.corpus_size, stats.hub_syncs,
+                    stats.hub_pushed, stats.hub_pulled,
+                )
+                for stats in self.worker_stats
+            ),
+            tuple(
+                (observation.time, observation.edges)
+                for observation in self.hub_timeline
+            ),
+        )
+
 
 class ClusterFuzzer:
     """Facade tying workers, hub, scheduler, and serving tier together."""
@@ -200,21 +367,29 @@ class ClusterFuzzer:
         hub: CorpusHub,
         tier: SharedInferenceTier | None = None,
         observer=None,
+        supervisor=None,
     ):
         self.workers = sorted(workers, key=lambda worker: worker.worker_id)
         self.hub = hub
         self.tier = tier
         self.observer = observer
+        self.supervisor = supervisor
         self.scheduler = ClusterScheduler(self.workers)
 
     def run_until(self, time: float) -> None:
-        self.scheduler.run_until(time)
+        self.scheduler.run_until(time, supervisor=self.supervisor)
 
     def run(self) -> ClusterResult:
         self.run_until(float("inf"))
         return self.finalize()
 
     def finalize(self) -> ClusterResult:
+        if hasattr(self.hub, "recover_all"):
+            # Campaign teardown recovers any still-failed shard so the
+            # final union reconciles every parked backlog entry.
+            self.hub.recover_all(
+                max(worker.loop.clock.now for worker in self.workers)
+            )
         for worker in self.workers:
             worker.flush()
         worker_stats = [worker.loop.finalize() for worker in self.workers]

@@ -19,7 +19,8 @@ tree::
     ├── DatasetError         dataset pipeline misconfigured/empty
     ├── AnalysisError        static analysis driven incorrectly
     └── CampaignError        experiment harness misconfigured
-        └── CheckpointError  campaign checkpoint missing/corrupt/unwritable
+        ├── CheckpointError  campaign checkpoint missing/corrupt/unwritable
+        └── SupervisionError fleet supervisor misconfigured
 
 The timeout family (:class:`ExecutorHang`, :class:`InferenceTimeout`)
 additionally inherits from :class:`TimeoutError`, so generic
@@ -110,3 +111,7 @@ class CampaignError(ReproError):
 
 class CheckpointError(CampaignError):
     """A campaign checkpoint is missing, corrupt, or could not be written."""
+
+
+class SupervisionError(CampaignError):
+    """The fleet supervisor was misconfigured (bad deadline/cadence)."""

@@ -28,6 +28,14 @@ Well-known sites (callers may invent more):
 ``checkpoint_store``      a transient checkpoint write failure (retried)
 ``campaign_crash``        the campaign worker dies (windows only; the first
                           window start is the kill time)
+``worker_kill:<id>``      a fleet worker process dies at the window start and
+                          stays dead until the supervisor restarts it
+``worker_hang:<id>``      a fleet worker wedges: its clock advances but it
+                          makes no progress (heartbeat goes stale)
+``hub_partition:<id>``    a fleet worker is partitioned from the corpus hub;
+                          sync round-trips fail throughout the window
+``shard_loss:<n>``        corpus-hub shard ``n`` is lost at the window start
+                          and recovers (reconciling) at the window end
 ========================  ====================================================
 
 The injector's per-site draw streams are checkpointable
@@ -119,6 +127,34 @@ class FaultPlan:
         rates[site] = rate
         return FaultPlan(seed=self.seed, rates=rates, windows=self.windows)
 
+    def with_worker_kill(self, worker_id: int, time: float) -> "FaultPlan":
+        """A copy where fleet worker ``worker_id`` dies at ``time``.
+
+        The kill is an *event*, not an outage: the worker dies the first
+        time its clock reaches the window start and stays dead until the
+        supervisor restarts it, so the (zero-width) window's end is
+        irrelevant.
+        """
+        return self.with_window(f"worker_kill:{worker_id}", time, time)
+
+    def with_worker_hang(
+        self, worker_id: int, start: float, end: float
+    ) -> "FaultPlan":
+        """A copy where worker ``worker_id`` wedges over [start, end)."""
+        return self.with_window(f"worker_hang:{worker_id}", start, end)
+
+    def with_hub_partition(
+        self, worker_id: int, start: float, end: float
+    ) -> "FaultPlan":
+        """A copy where worker ``worker_id`` cannot reach the hub."""
+        return self.with_window(f"hub_partition:{worker_id}", start, end)
+
+    def with_shard_loss(
+        self, shard: int, start: float, end: float
+    ) -> "FaultPlan":
+        """A copy where hub shard ``shard`` is down over [start, end)."""
+        return self.with_window(f"shard_loss:{shard}", start, end)
+
     def crash_time(self) -> float | None:
         """Virtual time of the first ``campaign_crash`` window, if any."""
         times = [
@@ -126,6 +162,24 @@ class FaultPlan:
             if window.site == "campaign_crash"
         ]
         return min(times) if times else None
+
+    def hang_start(self, worker_id: int, now: float) -> float | None:
+        """Start of the hang window covering ``now`` for this worker,
+        if any.  Hangs are process-scoped: callers compare this against
+        the worker's birth time, so a supervisor restart (a fresh VM)
+        cures a hang even while the window is still open."""
+        site = f"worker_hang:{worker_id}"
+        for window in self.windows:
+            if window.site == site and window.covers(now):
+                return window.start
+        return None
+
+    def kill_times(self, worker_id: int) -> tuple[float, ...]:
+        """Scheduled kill times for ``worker_id``, in plan order."""
+        site = f"worker_kill:{worker_id}"
+        return tuple(
+            window.start for window in self.windows if window.site == site
+        )
 
 
 # ----- the injector -----
@@ -288,6 +342,20 @@ class CircuitBreaker:
         return False
 
     def record_success(self, now: float) -> None:
+        if self.state is BreakerState.OPEN:
+            # A stale pre-trip result delivered while open.  Only a
+            # half-open probe admitted by ``allow`` may close the
+            # breaker: when the virtual clock jumps past several probe
+            # windows in one tick, a burst of stale successes must not
+            # close it without a single probe having run.
+            return
+        if (
+            self.state is BreakerState.HALF_OPEN
+            and not self._probe_in_flight
+        ):
+            # Half-open with no reserved probe (e.g. after
+            # ``cancel_probe``): same stale-result situation.
+            return
         self.consecutive_failures = 0
         if self.state is not BreakerState.CLOSED:
             self._transition(BreakerState.CLOSED, now)

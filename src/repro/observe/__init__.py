@@ -58,6 +58,7 @@ from .slo import (
     default_fuzz_rules,
     default_rules,
     default_serving_rules,
+    default_supervision_rules,
     load_alerts,
 )
 from .timeseries import (
@@ -96,6 +97,7 @@ __all__ = [
     "default_fuzz_rules",
     "default_rules",
     "default_serving_rules",
+    "default_supervision_rules",
     "diff_snapshots",
     "drift_summary",
     "flag_regressions",

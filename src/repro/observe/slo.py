@@ -321,7 +321,33 @@ def default_cluster_rules(sync_window: float = 3600.0,
         BurnRateRule(
             "cluster.hub_duplicate_share", "hub.duplicates",
             window=sync_window, budget=duplicate_budget,
-            denominator="hub.pushed", severity="warn",
+            denominator="hub.pushes", severity="warn",
+        ),
+    ]
+
+
+def default_supervision_rules(coverage_floor_pct: float = 90.0) -> list[_Rule]:
+    """The chaos-gate invariants, phrased over the end-state ``chaos.*``
+    gauges a :func:`~repro.snowplow.campaign.run_chaos_campaign` run
+    publishes.  These gauges are sampled once, at the horizon, after the
+    campaign's verdict is known — so threshold rules never fire on a
+    transient mid-recovery dip."""
+    return [
+        ThresholdRule(
+            "chaos.corpus_loss", "chaos.lost_edges",
+            op="<=", limit=0.0, severity="critical",
+        ),
+        ThresholdRule(
+            "chaos.coverage_monotone", "chaos.coverage_regressions",
+            op="<=", limit=0.0, severity="critical",
+        ),
+        ThresholdRule(
+            "chaos.graceful_degradation", "chaos.coverage_ratio_pct",
+            op=">=", limit=coverage_floor_pct, severity="critical",
+        ),
+        ThresholdRule(
+            "chaos.resume_determinism", "chaos.resume_identical",
+            op=">=", limit=1.0, severity="critical",
         ),
     ]
 
@@ -343,6 +369,7 @@ DEFAULT_PACKS = {
     "fuzz": default_fuzz_rules,
     "serving": default_serving_rules,
     "cluster": default_cluster_rules,
+    "supervision": default_supervision_rules,
     "default": default_rules,
 }
 

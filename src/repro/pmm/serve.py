@@ -64,6 +64,7 @@ _SERVE_COUNTERS = (
     "submitted",
     "completed",
     "rejected",
+    "shed",
     "breaker_rejections",
     "timeouts",
     "slot_crashes",
@@ -255,6 +256,7 @@ class InferenceService:
         injector: FaultInjector | None = None,
         breaker: CircuitBreaker | None = None,
         strict: bool = False,
+        shed_timeout: float | None = None,
         registry: MetricsRegistry | None = None,
         labels: dict | None = None,
         tracer: Tracer | None = None,
@@ -268,6 +270,10 @@ class InferenceService:
             raise ModelError(f"deadline must be positive, got {deadline}")
         if max_retries < 0:
             raise ModelError(f"max_retries must be >= 0, got {max_retries}")
+        if shed_timeout is not None and shed_timeout <= 0:
+            raise ModelError(
+                f"shed_timeout must be positive, got {shed_timeout}"
+            )
         self.predict_fn = predict_fn
         self.latency = latency
         self.servers = servers
@@ -279,6 +285,11 @@ class InferenceService:
         self.injector = injector
         self.breaker = breaker
         self.strict = strict
+        # Deadline-aware load shedding: a submission whose projected
+        # wait for a free slot exceeds this is refused up front (the
+        # caller degrades to its heuristic path) instead of queueing
+        # work that would arrive too late to matter.  None disables.
+        self.shed_timeout = shed_timeout
         self.stats = InferenceStats(registry=registry, labels=labels)
         self.tracer = tracer
         self.track = track
@@ -311,6 +322,8 @@ class InferenceService:
                 # half-open probe); un-reserve the probe so the next
                 # submission can carry it instead.
                 self.breaker.cancel_probe()
+            return None
+        if self._shed(now):
             return None
         slot = min(range(self.servers), key=lambda i: self._server_free[i])
         first_start = max(now, self._server_free[slot])
@@ -348,6 +361,29 @@ class InferenceService:
         self.stats.record_queue_delay(first_start - now)
         self.stats.record_batch(1)
         return ready
+
+    def _shed(self, now: float) -> bool:
+        """Deadline-aware admission control at submit time.
+
+        The projected wait is how long the earliest-free slot stays
+        busy; when that already exceeds ``shed_timeout`` the request is
+        shed — counted separately from queue-full ``rejected`` — and
+        the caller degrades to its heuristic path immediately instead
+        of waiting on a saturated tier.
+        """
+        if self.shed_timeout is None:
+            return False
+        projected = min(self._server_free) - now
+        if projected <= self.shed_timeout:
+            return False
+        self.stats.shed += 1
+        if self.breaker is not None:
+            self.breaker.cancel_probe()
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.track, "shed", now, cat="serve", wait=projected,
+            )
+        return True
 
     def poll(self, now: float) -> list[tuple[object, object]]:
         """All (query, prediction) pairs delivered by time ``now``.
@@ -524,6 +560,7 @@ class BatchingInferenceService(InferenceService):
         injector: FaultInjector | None = None,
         breaker: CircuitBreaker | None = None,
         strict: bool = False,
+        shed_timeout: float | None = None,
         registry: MetricsRegistry | None = None,
         labels: dict | None = None,
         tracer: Tracer | None = None,
@@ -553,6 +590,7 @@ class BatchingInferenceService(InferenceService):
             injector=injector,
             breaker=breaker,
             strict=strict,
+            shed_timeout=shed_timeout,
             registry=registry,
             labels=labels,
             tracer=tracer,
@@ -597,6 +635,8 @@ class BatchingInferenceService(InferenceService):
             self.stats.rejected += 1
             if self.breaker is not None:
                 self.breaker.cancel_probe()
+            return None
+        if self._shed(now):
             return None
         self._queue.append(
             _QueuedRequest(payload=query, arrival=now, submitted_at=now)

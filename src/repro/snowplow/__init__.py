@@ -15,12 +15,15 @@ directed time-to-target sweeps (Table 5).
 from repro.snowplow.fuzzer import PMMLocalizer, SnowplowConfig, SnowplowLoop
 from repro.snowplow.campaign import (
     CampaignConfig,
+    ChaosCampaignResult,
     CoverageCampaignResult,
     CrashCampaignResult,
     FaultCampaignResult,
     ScalingCampaignResult,
     ScalingPoint,
     build_cluster,
+    chaos_plan,
+    run_chaos_campaign,
     run_coverage_campaign,
     run_crash_campaign,
     run_directed_campaign,
@@ -39,6 +42,7 @@ from repro.snowplow.checkpointing import (
     save_checkpoint,
 )
 from repro.snowplow.reporting import (
+    format_chaos,
     format_fig6,
     format_scaling,
     format_table1,
@@ -49,6 +53,7 @@ from repro.snowplow.reporting import (
 
 __all__ = [
     "CampaignConfig",
+    "ChaosCampaignResult",
     "CheckpointStore",
     "CoverageCampaignResult",
     "CrashCampaignResult",
@@ -60,7 +65,9 @@ __all__ = [
     "SnowplowLoop",
     "TrainedPMM",
     "build_cluster",
+    "chaos_plan",
     "cluster_state",
+    "format_chaos",
     "format_fig6",
     "format_scaling",
     "format_table1",
@@ -71,6 +78,7 @@ __all__ = [
     "loop_state",
     "restore_cluster_state",
     "restore_loop_state",
+    "run_chaos_campaign",
     "run_coverage_campaign",
     "run_crash_campaign",
     "run_directed_campaign",

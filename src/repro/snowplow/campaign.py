@@ -22,6 +22,7 @@ Each function reproduces one experimental protocol:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.cluster import (
     ClusterResult,
     ClusterWorker,
     CorpusHub,
+    FleetSupervisor,
+    ShardedHub,
     SharedInferenceTier,
 )
 from repro.errors import CampaignError
@@ -51,10 +54,12 @@ from repro.pmm.metrics import SelectorMetrics
 from repro.pmm.serve import BatchingInferenceService, InferenceService
 from repro.pmm.model import PMM, PMMConfig
 from repro.pmm.train import TrainConfig, Trainer
-from repro.rng import derive_seed, split
+from repro.rng import derive_seed, make_rng, split
 from repro.snowplow.checkpointing import (
     CheckpointStore,
+    cluster_state,
     loop_state,
+    restore_cluster_state,
     restore_loop_state,
 )
 from repro.snowplow.fuzzer import PMMLocalizer, SnowplowConfig, SnowplowLoop
@@ -63,6 +68,7 @@ from repro.vclock import CostModel, VirtualClock
 
 __all__ = [
     "CampaignConfig",
+    "ChaosCampaignResult",
     "CoverageCampaignResult",
     "CrashCampaignResult",
     "FaultCampaignResult",
@@ -70,8 +76,10 @@ __all__ = [
     "ScalingPoint",
     "TrainedPMM",
     "build_cluster",
+    "chaos_plan",
     "default_directed_targets",
     "known_crash_signatures",
+    "run_chaos_campaign",
     "run_coverage_campaign",
     "run_crash_campaign",
     "run_directed_campaign",
@@ -600,6 +608,10 @@ def _build_shared_tier(
     )
     registry = observer.registry if observer is not None else None
     tracer = observer.tracer if observer is not None else None
+    shed_timeout = (
+        cfg.shed_timeout_factor * latency
+        if cfg.shed_timeout_factor is not None else None
+    )
     if cfg.max_batch_size > 1:
         service: InferenceService = BatchingInferenceService(
             predict_fn=predict,
@@ -616,6 +628,7 @@ def _build_shared_tier(
             breaker=breaker,
             registry=registry,
             tracer=tracer,
+            shed_timeout=shed_timeout,
         )
     else:
         service = InferenceService(
@@ -630,6 +643,7 @@ def _build_shared_tier(
             breaker=breaker,
             registry=registry,
             tracer=tracer,
+            shed_timeout=shed_timeout,
         )
     return SharedInferenceTier(service)
 
@@ -653,43 +667,72 @@ def build_cluster(
     scaling sweep then measures sharing, not reseeding.  All workers
     start from one shared seed corpus.  ``baseline=True`` builds a
     Syzkaller (heuristics-only) fleet with no serving tier.
+
+    ``cluster_config.shards > 1`` shards the hub by coverage-signature
+    range; ``cluster_config.heartbeat_deadline`` attaches a
+    :class:`~repro.cluster.FleetSupervisor` that restarts hung/dead
+    workers with deterministically reseeded loops.
     """
     cluster_config = cluster_config or ClusterConfig()
     seeds = ProgramGenerator(
         kernel.table, split(run_seed, "seed-corpus")
     ).seed_corpus(config.seed_corpus_size)
-    hub = CorpusHub(
-        registry=observer.registry if observer is not None else None
-    )
+    registry = observer.registry if observer is not None else None
+    if cluster_config.shards > 1:
+        hub: CorpusHub = ShardedHub(
+            shards=cluster_config.shards, registry=registry,
+        )
+    else:
+        hub = CorpusHub(registry=registry)
     tier = None
     if not baseline:
         tier = _build_shared_tier(
             kernel, trained, run_seed, config, oracle=oracle,
             injector=injector, observer=observer,
         )
-    workers = []
-    for index in range(cluster_config.workers):
-        worker_seed = derive_seed(run_seed, "worker", index)
+
+    def loop_factory(index: int, seed: int) -> FuzzLoop:
+        # Shared between generation-0 construction and supervisor
+        # restarts: only the seed differs across a worker's generations.
         if baseline:
             loop: FuzzLoop = _build_syzkaller_loop(
-                kernel, worker_seed, config, injector=injector,
+                kernel, seed, config, injector=injector,
                 observer=observer, worker=index,
             )
         else:
             loop = _build_snowplow_loop(
-                kernel, trained, worker_seed, config, oracle=oracle,
+                kernel, trained, seed, config, oracle=oracle,
                 injector=injector, service=tier.view(index),
                 observer=observer, worker=index,
             )
         loop.seed([program.clone() for program in seeds])
+        return loop
+
+    workers = []
+    for index in range(cluster_config.workers):
+        loop = loop_factory(index, derive_seed(run_seed, "worker", index))
         workers.append(
             ClusterWorker(
                 worker_id=index, loop=loop, hub=hub,
                 sync_interval=cluster_config.sync_interval,
                 sync_cost=cluster_config.sync_cost,
+                injector=injector,
+                max_sync_retries=cluster_config.max_sync_retries,
             )
         )
-    return ClusterFuzzer(workers, hub, tier=tier, observer=observer)
+    supervisor = None
+    if cluster_config.heartbeat_deadline is not None:
+        supervisor = FleetSupervisor(
+            workers, hub, loop_factory,
+            run_seed=run_seed,
+            heartbeat_deadline=cluster_config.heartbeat_deadline,
+            check_interval=cluster_config.supervise_interval,
+            injector=injector,
+            observer=observer,
+        )
+    return ClusterFuzzer(
+        workers, hub, tier=tier, observer=observer, supervisor=supervisor,
+    )
 
 
 @dataclass
@@ -758,6 +801,10 @@ def run_scaling_campaign(
                 workers=count,
                 sync_interval=base.sync_interval,
                 sync_cost=base.sync_cost,
+                shards=base.shards,
+                heartbeat_deadline=base.heartbeat_deadline,
+                supervise_interval=base.supervise_interval,
+                max_sync_retries=base.max_sync_retries,
             ),
             baseline=baseline, oracle=oracle, observer=observer,
         )
@@ -778,6 +825,237 @@ def run_scaling_campaign(
         horizon=config.horizon,
         points=points,
     )
+
+
+# ----- chaos (the failure model at fleet scale) -----
+
+
+def chaos_plan(
+    seed: int, horizon: float, cluster_config: ClusterConfig
+) -> FaultPlan:
+    """A seeded cluster-level fault schedule covering all four kinds.
+
+    Victims are drawn from ``derive_seed(seed, "chaos-plan")`` so the
+    schedule is a pure function of the campaign seed and topology:
+
+    - one worker killed at 25% of the horizon (restarted by the
+      supervisor once its heartbeat deadline lapses);
+    - one worker hung from 35% for up to two heartbeat deadlines;
+    - one worker partitioned from the hub at 50% for long enough to
+      exhaust its sync retries (exercising the drop-and-reoffer path);
+    - one hub shard lost from 55% to 70% (sharded hubs only).
+    """
+    deadline = cluster_config.heartbeat_deadline or 0.25 * horizon
+    rng = make_rng(derive_seed(seed, "chaos-plan"))
+    kill_victim = int(rng.integers(cluster_config.workers))
+    hang_victim = int(rng.integers(cluster_config.workers))
+    partition_victim = int(rng.integers(cluster_config.workers))
+    plan = (
+        FaultPlan()
+        .with_worker_kill(kill_victim, 0.25 * horizon)
+        .with_worker_hang(
+            hang_victim,
+            0.35 * horizon,
+            min(0.35 * horizon + 2 * deadline, 0.95 * horizon),
+        )
+        .with_hub_partition(
+            partition_victim,
+            0.50 * horizon,
+            min(
+                0.50 * horizon
+                + (cluster_config.max_sync_retries + 2)
+                * cluster_config.sync_interval,
+                0.90 * horizon,
+            ),
+        )
+    )
+    if cluster_config.shards > 1:
+        shard = int(rng.integers(cluster_config.shards))
+        plan = plan.with_shard_loss(shard, 0.55 * horizon, 0.70 * horizon)
+    return plan
+
+
+@dataclass
+class ChaosCampaignResult:
+    """One seeded chaos campaign: the same supervised fleet run clean
+    and under a cluster-level :func:`chaos_plan`, with the robustness
+    invariants the gate asserts."""
+
+    kernel_version: str
+    horizon: float
+    workers: int
+    shards: int
+    plan: FaultPlan
+    clean: ClusterResult
+    chaos: ClusterResult
+    # Signatures of two independent restores of the mid-campaign
+    # checkpoint, run to completion.  With in-flight inference the
+    # resumed timeline legitimately differs from an uninterrupted one
+    # (lost requests are booked as failures), so bit-identical resume
+    # means: every restore of the same bytes replays identically.
+    resume_signatures: tuple[tuple, tuple]
+    restarts: int
+    dropped_entries: int
+    shed: int
+    outstanding_lost: int
+    peak_edges: int
+    observer: Observer | None = None
+
+    @property
+    def coverage_ratio(self) -> float:
+        """Faulty-run final coverage as a fraction of the clean run's."""
+        if self.clean.final_edges == 0:
+            return 1.0
+        return self.chaos.final_edges / self.clean.final_edges
+
+    @property
+    def zero_corpus_loss(self) -> bool:
+        """No admitted entry's coverage left the hub for good: nothing
+        is stranded in a dead shard's backlog and the fleet-union edge
+        count ends at (or above) its high-water mark."""
+        return (
+            self.outstanding_lost == 0
+            and self.chaos.final_edges >= self.peak_edges
+        )
+
+    @property
+    def coverage_monotone(self) -> bool:
+        """Fleet-union coverage never regressed across the timeline."""
+        edges = [obs.edges for obs in self.chaos.hub_timeline]
+        return all(b >= a for a, b in zip(edges, edges[1:]))
+
+    @property
+    def resume_identical(self) -> bool:
+        return self.resume_signatures[0] == self.resume_signatures[1]
+
+    def degraded_gracefully(self, threshold_pct: float = 10.0) -> bool:
+        """Final coverage within ``threshold_pct`` of the no-fault run."""
+        return self.coverage_ratio >= 1.0 - threshold_pct / 100.0
+
+    def passed(self, threshold_pct: float = 10.0) -> bool:
+        return (
+            self.zero_corpus_loss
+            and self.coverage_monotone
+            and self.resume_identical
+            and self.degraded_gracefully(threshold_pct)
+        )
+
+
+def run_chaos_campaign(
+    kernel: Kernel,
+    trained: TrainedPMM | None,
+    config: CampaignConfig,
+    cluster_config: ClusterConfig | None = None,
+    plan: FaultPlan | None = None,
+    baseline: bool = False,
+    oracle: bool = False,
+    observe: bool = False,
+) -> ChaosCampaignResult:
+    """The chaos gate: a supervised, sharded fleet under seeded faults.
+
+    Protocol: (1) run the fleet fault-free for the reference coverage;
+    (2) run it under :func:`chaos_plan`, checkpointing at 80% of the
+    horizon — after the killed worker's restart — then finishing from
+    two *independent* restores of that checkpoint and comparing their
+    result signatures bit-for-bit.  The result carries the invariants
+    the gate asserts: zero corpus-entry loss, monotone fleet-union
+    coverage within a bound of the clean run, and identical resumes.
+    """
+    cluster_config = cluster_config or ClusterConfig(
+        workers=4, shards=2, heartbeat_deadline=900.0,
+    )
+    if cluster_config.heartbeat_deadline is None:
+        raise CampaignError(
+            "chaos campaign needs a supervised cluster: "
+            "set ClusterConfig.heartbeat_deadline"
+        )
+    run_seed = derive_seed(config.seed, "chaos", kernel.version)
+    plan = plan or chaos_plan(config.seed, config.horizon, cluster_config)
+
+    clean_cluster = build_cluster(
+        kernel, trained, run_seed, config,
+        cluster_config=cluster_config, baseline=baseline, oracle=oracle,
+    )
+    clean_result = clean_cluster.run()
+
+    # The chaos run proper is interrupted at 80% of the horizon and
+    # finished twice from the same serialized checkpoint; the first
+    # restore's completion is reported as *the* chaos run.
+    ckpt_at = 0.8 * config.horizon
+    probe = build_cluster(
+        kernel, trained, run_seed, config,
+        cluster_config=cluster_config, baseline=baseline, oracle=oracle,
+        injector=FaultInjector(plan),
+        observer=Observer() if observe else None,
+    )
+    probe.run_until(ckpt_at)
+    state = json.loads(json.dumps(cluster_state(probe)))
+
+    resumed: list[ClusterFuzzer] = []
+    results: list[ClusterResult] = []
+    for _ in range(2):
+        cluster = build_cluster(
+            kernel, trained, run_seed, config,
+            cluster_config=cluster_config, baseline=baseline,
+            oracle=oracle, injector=FaultInjector(plan),
+            observer=Observer() if observe else None,
+        )
+        restore_cluster_state(cluster, state)
+        resumed.append(cluster)
+        results.append(cluster.run())
+    chaos_result = results[0]
+    hub = resumed[0].hub
+    observer = resumed[0].observer
+
+    timeline_edges = [obs.edges for obs in chaos_result.hub_timeline]
+    peak_edges = max(timeline_edges, default=0)
+    outstanding = (
+        hub.outstanding_lost_entries()
+        if isinstance(hub, ShardedHub) else 0
+    )
+    service = chaos_result.service_stats
+    result = ChaosCampaignResult(
+        kernel_version=kernel.version,
+        horizon=config.horizon,
+        workers=cluster_config.workers,
+        shards=cluster_config.shards,
+        plan=plan,
+        clean=clean_result,
+        chaos=chaos_result,
+        resume_signatures=(results[0].signature(), results[1].signature()),
+        restarts=(
+            resumed[0].supervisor.restarts
+            if resumed[0].supervisor is not None else 0
+        ),
+        dropped_entries=hub.stats.dropped_entries,
+        shed=service.shed if service is not None else 0,
+        outstanding_lost=outstanding,
+        peak_edges=peak_edges,
+        observer=observer,
+    )
+    if observer is not None:
+        # End-state gauges for the supervision SLO pack: these are the
+        # chaos invariants themselves, sampled once at the horizon so
+        # threshold rules see only the campaign's verdict.
+        registry = observer.registry
+        registry.gauge("chaos.lost_edges").set(
+            max(0, peak_edges - chaos_result.final_edges)
+        )
+        registry.gauge("chaos.coverage_regressions").set(
+            sum(
+                1 for a, b in zip(timeline_edges, timeline_edges[1:])
+                if b < a
+            )
+        )
+        registry.gauge("chaos.coverage_ratio_pct").set(
+            100.0 * result.coverage_ratio
+        )
+        registry.gauge("chaos.resume_identical").set(
+            1 if result.resume_identical else 0
+        )
+        registry.gauge("chaos.outstanding_lost_entries").set(outstanding)
+        observer.timeseries.sample(config.horizon, registry)
+    return result
 
 
 # ----- directed fuzzing (Table 5) -----

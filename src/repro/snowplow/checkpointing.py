@@ -47,7 +47,11 @@ __all__ = [
 
 # v4: observer state grew the time-series store (``timeseries`` key in
 # the observer dict), so restored campaigns replay identical timelines.
-_FORMAT_VERSION = 4
+# v5: supervised-fleet state — per-worker fault bookkeeping (killed,
+# generation, partition drops, heartbeat), the supervisor's
+# generations/next-check, and the sharded hub's watermarks/backlog —
+# so chaos campaigns kill+resume bit-identically.
+_FORMAT_VERSION = 5
 
 # Transient checkpoint-store write failures retried before giving up.
 _WRITE_ATTEMPTS = 5
@@ -281,12 +285,22 @@ def cluster_state(cluster) -> dict:
                 "next_sync": worker.next_sync,
                 "sync_epoch": worker.sync_epoch,
                 "synced_entries": worker._synced_entries,
+                "killed": worker.killed,
+                "generation": worker.generation,
+                "born": worker.born,
+                "last_progress": worker.last_progress,
+                "sync_failures": worker._sync_failures,
+                "dropped": list(worker.dropped),
+                "consumed_kills": sorted(worker._consumed_kills),
                 "loop": loop_state(worker.loop, include_observer=False),
             }
             for worker in workers
         ],
         "hub": cluster.hub.state_dict(),
     }
+    supervisor = getattr(cluster, "supervisor", None)
+    if supervisor is not None:
+        state["supervisor"] = supervisor.state_dict()
     tier = getattr(cluster, "tier", None)
     if tier is not None:
         state["service"] = tier.service.state_dict()
@@ -333,7 +347,19 @@ def restore_cluster_state(cluster, state: dict) -> int:
         worker.next_sync = float(worker_state["next_sync"])
         worker.sync_epoch = int(worker_state["sync_epoch"])
         worker._synced_entries = int(worker_state["synced_entries"])
+        worker.killed = bool(worker_state["killed"])
+        worker.generation = int(worker_state["generation"])
+        worker.born = float(worker_state.get("born", 0.0))
+        worker.last_progress = float(worker_state["last_progress"])
+        worker._sync_failures = int(worker_state["sync_failures"])
+        worker.dropped = [int(index) for index in worker_state["dropped"]]
+        worker._consumed_kills = {
+            float(start) for start in worker_state["consumed_kills"]
+        }
     cluster.hub.restore(state["hub"], workers[0].loop.kernel.table)
+    supervisor = getattr(cluster, "supervisor", None)
+    if supervisor is not None and "supervisor" in state:
+        supervisor.restore(state["supervisor"])
     lost = 0
     tier = getattr(cluster, "tier", None)
     if tier is not None and "service" in state:

@@ -90,6 +90,11 @@ class SnowplowConfig:
     # the half-open probe.
     breaker_failure_threshold: int = 4
     breaker_reset_factor: float = 4.0
+    # Deadline-aware load shedding: refuse a submission whose projected
+    # slot wait exceeds this many inference latencies (the worker falls
+    # back to the heuristic localizer instead of queueing stale work).
+    # None keeps the historical queue-until-full behaviour.
+    shed_timeout_factor: float | None = None
 
 
 class PMMLocalizer:
@@ -215,6 +220,10 @@ class SnowplowLoop(FuzzLoop):
                 deadline=cfg.request_deadline_factor * latency,
                 max_retries=cfg.max_retries,
                 retry_backoff=cfg.retry_backoff_factor * latency,
+                shed_timeout=(
+                    cfg.shed_timeout_factor * latency
+                    if cfg.shed_timeout_factor is not None else None
+                ),
                 injector=self.injector,
                 breaker=CircuitBreaker(
                     failure_threshold=cfg.breaker_failure_threshold,

@@ -9,6 +9,7 @@ from repro.fuzzer.directed import DirectedResult
 from repro.kernel.bugs import CrashKind
 from repro.pmm.metrics import SelectorMetrics
 from repro.snowplow.campaign import (
+    ChaosCampaignResult,
     CoverageCampaignResult,
     CrashCampaignResult,
     ScalingCampaignResult,
@@ -16,6 +17,7 @@ from repro.snowplow.campaign import (
 
 __all__ = [
     "format_table1",
+    "format_chaos",
     "format_fig6",
     "format_scaling",
     "format_table2",
@@ -143,6 +145,43 @@ def format_scaling(result: ScalingCampaignResult) -> str:
                 f"{stats.executions:8d} execs, "
                 f"pushed {stats.hub_pushed}, pulled {stats.hub_pulled}"
             )
+    return "\n".join(lines)
+
+
+def format_chaos(result: ChaosCampaignResult) -> str:
+    """The chaos gate: fault schedule, recovery actions, invariants."""
+    hours = result.horizon / 3600.0
+    verdict = "PASS" if result.passed() else "FAIL"
+    lines = [
+        f"Chaos campaign on kernel {result.kernel_version} "
+        f"({hours:.1f}h virtual, {result.workers} workers, "
+        f"{result.shards} hub shard(s)).",
+        "  fault schedule:",
+    ]
+    for window in result.plan.windows:
+        lines.append(
+            f"    {window.site:<18} [{window.start:8.0f}, {window.end:8.0f}]"
+        )
+    lines.append(
+        f"  recovery: {result.restarts} worker restart(s), "
+        f"{result.dropped_entries} dropped hub entrie(s), "
+        f"{result.shed} shed inference request(s)"
+    )
+    lines.append(
+        f"  coverage: clean {result.clean.final_edges} edges, "
+        f"chaos {result.chaos.final_edges} edges "
+        f"({100.0 * result.coverage_ratio:.1f}% of clean, "
+        f"peak {result.peak_edges})"
+    )
+    checks = (
+        ("zero corpus-entry loss", result.zero_corpus_loss),
+        ("fleet coverage monotone", result.coverage_monotone),
+        ("kill+resume bit-identical", result.resume_identical),
+        ("degraded gracefully (<=10%)", result.degraded_gracefully()),
+    )
+    for name, ok in checks:
+        lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    lines.append(f"  verdict: {verdict}")
     return "\n".join(lines)
 
 

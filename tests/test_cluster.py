@@ -12,8 +12,10 @@ from repro.cluster import (
     ClusterScheduler,
     ClusterWorker,
     CorpusHub,
+    ShardedHub,
     SharedInferenceTier,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.fuzzer.corpus import CorpusEntry
 from repro.fuzzer.loop import FuzzObservation, FuzzStats
 from repro.kernel.coverage import Coverage
@@ -22,9 +24,12 @@ from repro.rng import derive_seed, split
 from repro.snowplow import (
     CampaignConfig,
     build_cluster,
+    chaos_plan,
     cluster_state,
+    format_chaos,
     format_scaling,
     restore_cluster_state,
+    run_chaos_campaign,
     run_scaling_campaign,
 )
 from repro.snowplow.checkpointing import (
@@ -336,5 +341,297 @@ class TestScalingCampaign:
         with pytest.raises(CampaignError):
             run_scaling_campaign(
                 kernel, None, _campaign_config(), worker_counts=(),
+                oracle=True,
+            )
+
+
+def _traces_for_shard(hub, shard, count, start=100):
+    """Single-trace coverages whose signatures land on ``shard``."""
+    found = []
+    value = start
+    while len(found) < count:
+        traces = [[value, value + 1]]
+        signature = frozenset(Coverage.from_traces(traces).edges)
+        if hub.shard_of(signature) == shard:
+            found.append(traces)
+        value += 2
+    return found
+
+
+class TestShardedHub:
+    def test_fault_free_parity_with_unsharded(self, programs):
+        batches = [
+            [_entry(programs[0], [[1, 2, 3]]), _entry(programs[1], [[4, 5]])],
+            [_entry(programs[2], [[1, 2, 3]])],  # duplicate signature
+            [_entry(programs[3], [[6, 7, 8]]), _entry(programs[4], [[1, 2]])],
+        ]
+        plain, sharded = CorpusHub(), ShardedHub(shards=4)
+        for now, batch in enumerate(batches, start=1):
+            assert (
+                plain.push(now % 2, batch, float(now))
+                == sharded.push(now % 2, batch, float(now))
+            )
+        assert sharded.epoch == plain.epoch
+        assert sharded.coverage.edges == plain.coverage.edges
+        assert sharded.stats.duplicates == plain.stats.duplicates
+        assert sharded.stats.bloom_skips > 0
+
+    def test_failover_parks_only_unreplicated_tail(self, programs):
+        hub = ShardedHub(shards=2)
+        victim = 0
+        early = _traces_for_shard(hub, victim, 1, start=100)[0]
+        late = _traces_for_shard(hub, victim, 1, start=500)[0]
+        hub.push(0, [_entry(programs[0], early)], now=10.0)
+        # Second round: the first round is replicated by the time this
+        # push starts, so only this round's tail is vulnerable.
+        hub.push(1, [_entry(programs[1], late)], now=20.0)
+        before = len(hub.coverage.edges)
+        parked = hub.fail_shard(victim, now=30.0)
+        assert parked == 1
+        assert hub.stats.lost_entries == 1
+        assert hub.stats.failovers == 1
+        assert hub.failed_shards == frozenset({victim})
+        assert hub.outstanding_lost_entries() == 1
+        assert len(hub.entries) == 1  # replicated prefix still served
+        assert len(hub.coverage.edges) < before
+
+    def test_recover_readmits_unsubsumed_backlog(self, programs):
+        hub = ShardedHub(shards=2)
+        victim = 1
+        early = _traces_for_shard(hub, victim, 1, start=100)[0]
+        late = _traces_for_shard(hub, victim, 1, start=500)[0]
+        hub.push(0, [_entry(programs[0], early)], now=10.0)
+        hub.push(1, [_entry(programs[1], late)], now=20.0)
+        before = len(hub.coverage.edges)
+        hub.fail_shard(victim, now=30.0)
+        readmitted = hub.recover_shard(victim, now=40.0)
+        assert readmitted == 1
+        assert hub.stats.reconciled == 1
+        assert hub.outstanding_lost_entries() == 0
+        assert hub.failed_shards == frozenset()
+        assert len(hub.coverage.edges) == before
+        # High-water timeline stays monotone through the failover.
+        edges = [obs.edges for obs in hub.timeline]
+        assert edges == sorted(edges)
+
+    def test_rediscovered_backlog_entry_reconciles_as_subsumed(
+        self, programs
+    ):
+        hub = ShardedHub(shards=2)
+        victim = 0
+        traces = _traces_for_shard(hub, victim, 2, start=100)
+        hub.push(0, [_entry(programs[0], traces[0])], now=10.0)
+        hub.push(0, [_entry(programs[1], traces[1])], now=20.0)
+        hub.fail_shard(victim, now=30.0)
+        # The fleet rediscovers the lost coverage during the outage.
+        hub.push(1, [_entry(programs[2], traces[1])], now=40.0)
+        assert hub.recover_shard(victim, now=50.0) == 0
+        assert hub.outstanding_lost_entries() == 0
+
+    def test_state_roundtrip_preserves_failover_state(
+        self, kernel, programs
+    ):
+        hub = ShardedHub(shards=2)
+        victim = 0
+        early = _traces_for_shard(hub, victim, 1, start=100)[0]
+        late = _traces_for_shard(hub, victim, 1, start=500)[0]
+        hub.push(0, [_entry(programs[0], early)], now=10.0)
+        hub.push(1, [_entry(programs[1], late)], now=20.0)
+        hub.fail_shard(victim, now=30.0)
+        state = json.loads(json.dumps(hub.state_dict()))
+        clone = ShardedHub(shards=2)
+        clone.restore(state, kernel.table)
+        assert clone.failed_shards == hub.failed_shards
+        assert clone.outstanding_lost_entries() == 1
+        assert clone.coverage.edges == hub.coverage.edges
+        assert clone.epoch == hub.epoch
+        # The restored backlog reconciles exactly like the original's.
+        assert clone.recover_shard(victim, now=40.0) == 1
+
+    def test_shard_count_mismatch_rejected(self, kernel, programs):
+        hub = ShardedHub(shards=2)
+        hub.push(0, [_entry(programs[0], [[1, 2]])], now=10.0)
+        state = json.loads(json.dumps(hub.state_dict()))
+        with pytest.raises(CheckpointError, match="shards"):
+            ShardedHub(shards=4).restore(state, kernel.table)
+
+    def test_bad_shard_operations_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedHub(shards=0)
+        with pytest.raises(ValueError):
+            ShardedHub(shards=2).fail_shard(7, now=0.0)
+
+
+def _supervised_cluster(
+    kernel, seed=11, horizon=2400.0, workers=3, shards=1,
+    deadline=600.0, plan=None,
+):
+    config = _campaign_config(seed=seed, horizon=horizon)
+    run_seed = derive_seed(config.seed, "cluster-test", kernel.version)
+    return build_cluster(
+        kernel, None, run_seed, config,
+        cluster_config=ClusterConfig(
+            workers=workers, sync_interval=300.0, shards=shards,
+            heartbeat_deadline=deadline,
+        ),
+        oracle=True,
+        injector=FaultInjector(plan) if plan is not None else None,
+    )
+
+
+class TestSupervisedCluster:
+    def test_kill_restart_is_deterministic(self, kernel):
+        plan = FaultPlan().with_worker_kill(1, 600.0)
+        first = _supervised_cluster(kernel, plan=plan)
+        result_first = first.run()
+        again = _supervised_cluster(kernel, plan=plan)
+        result_again = again.run()
+        assert result_first.signature() == result_again.signature()
+        assert first.supervisor.restarts == 1
+        assert first.workers[1].generation == 1
+        assert first.workers[1].born > 600.0
+        assert not first.workers[1].killed
+
+    def test_restart_reseeds_corpus_from_hub(self, kernel):
+        plan = FaultPlan().with_worker_kill(1, 600.0)
+        cluster = _supervised_cluster(kernel, plan=plan)
+        cluster.run()
+        revived = cluster.workers[1]
+        # The new incarnation started from the fleet's shared corpus,
+        # not from scratch, and kept fuzzing productively.
+        assert revived.loop.stats.executions > 0
+        assert revived.loop.stats.corpus_size > 0
+        assert revived.last_progress > revived.born
+
+    def test_hang_victim_restart_cures_the_hang(self, kernel):
+        # The window stays open to the horizon; only a restart (a fresh
+        # VM, immune to the original process's hang) resumes progress.
+        plan = FaultPlan().with_worker_hang(0, 600.0, 2400.0)
+        cluster = _supervised_cluster(kernel, plan=plan)
+        cluster.run()
+        victim = cluster.workers[0]
+        assert cluster.supervisor.restarts == 1
+        assert victim.generation == 1
+        assert victim.last_progress > victim.born
+
+    def test_partition_drop_is_accounted_then_flush_recovers(self, kernel):
+        plan = FaultPlan().with_hub_partition(1, 600.0, 2400.0)
+        cluster = _supervised_cluster(kernel, plan=plan)
+        result = cluster.run()
+        hub = cluster.hub
+        # Retries exhausted: the push batch was dropped and counted.
+        assert hub.stats.sync_failures > 0
+        assert hub.stats.dropped_entries > 0
+        # Never silently: flush re-offered every dropped entry.
+        assert cluster.workers[1].dropped == []
+        assert cluster.supervisor.restarts == 0  # partitioned, not dead
+        assert result.final_edges == len(hub.coverage.edges)
+
+    def test_shard_loss_failover_and_recovery(self, kernel):
+        plan = FaultPlan().with_shard_loss(0, 600.0, 1500.0)
+        cluster = _supervised_cluster(kernel, plan=plan, shards=2)
+        result = cluster.run()
+        hub = cluster.hub
+        assert hub.stats.failovers == 1
+        assert hub.outstanding_lost_entries() == 0  # reconciled
+        assert hub.failed_shards == frozenset()
+        edges = [obs.edges for obs in result.hub_timeline]
+        assert edges == sorted(edges)
+
+    def test_supervised_fleet_is_deterministic_under_full_chaos(
+        self, kernel
+    ):
+        config = ClusterConfig(
+            workers=3, sync_interval=300.0, shards=2,
+            heartbeat_deadline=600.0,
+        )
+        plan = chaos_plan(11, 2400.0, config)
+        sites = {window.site.split(":")[0] for window in plan.windows}
+        assert sites == {
+            "worker_kill", "worker_hang", "hub_partition", "shard_loss"
+        }
+        first = _supervised_cluster(kernel, plan=plan, shards=2)
+        again = _supervised_cluster(kernel, plan=plan, shards=2)
+        assert first.run().signature() == again.run().signature()
+
+
+class TestChaosResume:
+    """Satellite: restart decisions must survive checkpoint/resume."""
+
+    def test_checkpoint_after_restart_resumes_bit_identically(self, kernel):
+        plan = FaultPlan().with_worker_kill(1, 600.0)
+        probe = _supervised_cluster(kernel, plan=plan)
+        probe.run_until(1800.0)
+        assert probe.supervisor.restarts == 1  # restart is in the state
+        state = json.loads(json.dumps(cluster_state(probe)))
+
+        results = []
+        for _ in range(2):
+            resumed = _supervised_cluster(kernel, plan=plan)
+            restore_cluster_state(resumed, state)
+            assert resumed.workers[1].generation == 1
+            assert resumed.supervisor.restarts == 1
+            results.append(resumed.run())
+        assert results[0].signature() == results[1].signature()
+
+    def test_worker_dead_at_checkpoint_replays_restart_decision(
+        self, kernel
+    ):
+        """A worker declared dead mid-campaign: every resume of that
+        checkpoint must reproduce the exact same restart (same virtual
+        time, same derived seed, same post-restart schedule)."""
+        plan = FaultPlan().with_worker_kill(1, 600.0)
+        probe = _supervised_cluster(kernel, plan=plan)
+        probe.run_until(900.0)
+        assert probe.workers[1].killed  # dead, restart still pending
+        assert probe.supervisor.restarts == 0
+        state = json.loads(json.dumps(cluster_state(probe)))
+
+        finished = []
+        for _ in range(2):
+            resumed = _supervised_cluster(kernel, plan=plan)
+            restore_cluster_state(resumed, state)
+            assert resumed.workers[1].killed
+            finished.append(resumed)
+        results = [cluster.run() for cluster in finished]
+        assert results[0].signature() == results[1].signature()
+        for cluster in finished:
+            assert cluster.supervisor.restarts == 1
+            assert cluster.workers[1].generation == 1
+            assert not cluster.workers[1].killed
+
+
+class TestChaosCampaign:
+    def test_chaos_campaign_holds_all_invariants(self, kernel):
+        config = _campaign_config(seed=11)
+        result = run_chaos_campaign(
+            kernel, None, config,
+            cluster_config=ClusterConfig(
+                workers=3, sync_interval=300.0, shards=2,
+                heartbeat_deadline=600.0,
+            ),
+            oracle=True,
+        )
+        assert result.zero_corpus_loss
+        assert result.coverage_monotone
+        assert result.resume_identical
+        assert result.degraded_gracefully(10.0)
+        assert result.passed()
+        assert result.restarts >= 1
+        assert result.outstanding_lost == 0
+        assert {w.site.split(":")[0] for w in result.plan.windows} == {
+            "worker_kill", "worker_hang", "hub_partition", "shard_loss"
+        }
+        report = format_chaos(result)
+        assert "verdict: PASS" in report
+        assert "worker_kill" in report
+
+    def test_chaos_campaign_requires_supervision(self, kernel):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="heartbeat"):
+            run_chaos_campaign(
+                kernel, None, _campaign_config(),
+                cluster_config=ClusterConfig(workers=2),
                 oracle=True,
             )

@@ -160,6 +160,42 @@ class TestFaultPlan:
         assert tail_original == tail_resumed
         assert resumed.injected == original.injected | resumed.injected
 
+    def test_cluster_fault_helpers_target_worker_sites(self):
+        plan = (
+            FaultPlan()
+            .with_worker_kill(2, 600.0)
+            .with_worker_hang(0, 100.0, 200.0)
+            .with_hub_partition(1, 300.0, 400.0)
+            .with_shard_loss(3, 500.0, 700.0)
+        )
+        assert {window.site for window in plan.windows} == {
+            "worker_kill:2", "worker_hang:0",
+            "hub_partition:1", "shard_loss:3",
+        }
+        injector = FaultInjector(plan)
+        assert injector.in_window("worker_hang:0", 150.0)
+        assert not injector.in_window("worker_hang:1", 150.0)
+        assert injector.in_window("hub_partition:1", 300.0)
+        assert injector.in_window("shard_loss:3", 699.0)
+
+    def test_kill_times_lists_only_this_workers_kills(self):
+        plan = (
+            FaultPlan()
+            .with_worker_kill(0, 100.0)
+            .with_worker_kill(0, 900.0)
+            .with_worker_kill(1, 500.0)
+        )
+        assert plan.kill_times(0) == (100.0, 900.0)
+        assert plan.kill_times(1) == (500.0,)
+        assert plan.kill_times(2) == ()
+
+    def test_hang_start_is_process_scoped_lookup(self):
+        plan = FaultPlan().with_worker_hang(0, 100.0, 200.0)
+        assert plan.hang_start(0, 150.0) == 100.0
+        assert plan.hang_start(0, 99.0) is None
+        assert plan.hang_start(0, 200.0) is None
+        assert plan.hang_start(1, 150.0) is None
+
 
 class TestCircuitBreaker:
     def test_trips_after_consecutive_failures(self):
@@ -234,6 +270,43 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(reset_timeout=0.0)
+
+    def test_clock_jump_past_many_probe_windows_admits_one_probe(self):
+        """A virtual-clock jump spanning several reset timeouts must
+        still admit exactly one half-open probe, not a burst."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure(0.0)
+        # now jumps 5 reset-timeouts ahead in one tick
+        assert breaker.allow(50.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(50.0)
+        assert not breaker.allow(55.0)
+        # the single probe's verdict decides the state
+        breaker.record_success(60.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_stale_success_does_not_close_open_breaker(self):
+        """A success recorded for a request issued before the trip must
+        not close the breaker (that would skip the probe protocol)."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.OPEN
+        breaker.record_success(1.0)  # pre-trip request completing late
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(5.0)
+
+    def test_success_without_reserved_probe_keeps_half_open(self):
+        """After cancel_probe, a stale success must not close the
+        breaker: only the reserved probe's result counts."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.cancel_probe()
+        breaker.record_success(11.0)  # no probe in flight
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow(12.0)  # probe slot still available
+        breaker.record_success(13.0)
+        assert breaker.state is BreakerState.CLOSED
 
 
 class TestWatchdog:
