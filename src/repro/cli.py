@@ -52,17 +52,18 @@ from repro.snowplow import (
     CampaignConfig,
     SnowplowConfig,
     build_cluster,
+    build_fuzz_loop,
+    chaos_json,
     format_chaos,
     format_scaling,
+    fuzz_campaign_config,
+    fuzz_run_seed,
     run_chaos_campaign,
     run_scaling_campaign,
+    scaling_json,
     train_pmm,
 )
-from repro.snowplow.campaign import (
-    TrainedPMM,
-    _build_snowplow_loop,
-    _build_syzkaller_loop,
-)
+from repro.snowplow.campaign import TrainedPMM
 from repro.syzlang import ProgramGenerator, parse_program, serialize_program
 
 __all__ = ["main"]
@@ -125,16 +126,8 @@ def _load_trained(args, kernel) -> TrainedPMM | None:
 
 
 def _fuzz_config(args, batch_size: int | None = None) -> CampaignConfig:
-    snowplow = SnowplowConfig()
-    if batch_size is not None:
-        snowplow.max_batch_size = batch_size
-    return CampaignConfig(
-        horizon=args.hours * 3600.0,
-        runs=1,
-        seed=args.seed,
-        seed_corpus_size=args.seed_corpus,
-        sample_interval=max(args.hours * 3600.0 / 16.0, 60.0),
-        snowplow=snowplow,
+    return fuzz_campaign_config(
+        args.hours, args.seed, args.seed_corpus, batch_size
     )
 
 
@@ -154,7 +147,7 @@ def _cmd_fuzz(args) -> int:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
     config = _fuzz_config(args, batch_size=args.batch_size)
-    run_seed = derive_seed(args.seed, "cli-fuzz", kernel.version)
+    run_seed = fuzz_run_seed(args.seed, kernel.version)
     oracle = args.oracle
     trained = _load_trained(args, kernel)
     if trained is None and not (args.baseline or oracle):
@@ -194,28 +187,18 @@ def _cmd_fuzz(args) -> int:
             print(f"  crash [{tag}] {crash.signature}")
         _export_observer(observer, args.observe_dir)
         return 0
-    if args.baseline:
-        loop = _build_syzkaller_loop(
-            kernel, run_seed, config, observer=observer
-        )
-        label = "syzkaller"
-    else:
-        analysis = None
-        if args.skip_dead_targets:
-            from repro.analyze import ReachabilityAnalysis
+    analysis = None
+    if args.skip_dead_targets and not args.baseline:
+        from repro.analyze import ReachabilityAnalysis
 
-            analysis = ReachabilityAnalysis(kernel, observer=observer)
-            print(f"static analysis: {len(analysis.dead_blocks())} dead "
-                  f"blocks will be skipped as directed targets")
-        loop = _build_snowplow_loop(
-            kernel, trained, run_seed, config, oracle=oracle,
-            observer=observer, analysis=analysis,
-        )
-        label = "snowplow"
-    seeds = ProgramGenerator(
-        kernel.table, split(run_seed, "seed-corpus")
-    ).seed_corpus(config.seed_corpus_size)
-    loop.seed(seeds)
+        analysis = ReachabilityAnalysis(kernel, observer=observer)
+        print(f"static analysis: {len(analysis.dead_blocks())} dead "
+              f"blocks will be skipped as directed targets")
+    loop = build_fuzz_loop(
+        kernel, trained, run_seed, config, baseline=args.baseline,
+        oracle=oracle, observer=observer, analysis=analysis,
+    )
+    label = "syzkaller" if args.baseline else "snowplow"
     stats = loop.run()
     print(f"[{label}] {args.hours:.1f} virtual hours on {kernel.version}: "
           f"{stats.final_edges} edges, {stats.final_blocks} blocks, "
@@ -263,7 +246,7 @@ def _cmd_cluster(args) -> int:
         baseline=args.baseline, oracle=oracle,
         observe=bool(args.observe_dir),
     )
-    print(format_scaling(result))
+    print(scaling_json(result) if args.json else format_scaling(result))
     if args.observe_dir:
         for point in result.points:
             if point.observer is not None and point.observer.slo is None:
@@ -302,12 +285,163 @@ def _cmd_cluster_chaos(args, kernel) -> int:
         baseline=args.baseline, oracle=oracle,
         observe=bool(args.observe_dir),
     )
-    print(format_chaos(result))
+    print(chaos_json(result) if args.json else format_chaos(result))
     if args.observe_dir and result.observer is not None:
         if result.observer.slo is None:
             result.observer.slo = SLOEngine(DEFAULT_PACKS["supervision"]())
         _export_observer(result.observer, args.observe_dir)
+    # The gate contract: any invariant violation (corpus loss,
+    # non-monotone coverage, excessive degradation, non-identical
+    # resume) must surface as a non-zero exit, JSON mode included.
     return 0 if result.passed() else 1
+
+
+# ----- the campaign service (repro.service) -----
+
+
+def _load_server(args, create: bool = False):
+    """The persisted service for --state-dir, or None (with a message)."""
+    from repro.service import ServiceServer, load_service, service_exists
+
+    if service_exists(args.state_dir):
+        return load_service(args.state_dir)
+    if create:
+        return ServiceServer(
+            fleet_size=args.fleet_size, time_slice=args.time_slice
+        )
+    print(f"no service state under {args.state_dir} "
+          f"(run `repro serve` or `repro submit` first)", file=sys.stderr)
+    return None
+
+
+def _respond(response, as_json: bool) -> int:
+    """Print a service response; exit 0 on 2xx, 1 otherwise."""
+    if as_json:
+        print(response.json())
+    elif not response.ok:
+        print(f"error {response.status}: "
+              f"{response.body.get('error', '')}", file=sys.stderr)
+    return 0 if response.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    """Admit + schedule: advance the service clock, then persist."""
+    from repro.service import (
+        Request,
+        format_service_health,
+        save_service,
+    )
+
+    server = _load_server(args, create=True)
+    server.handle(Request("POST", "/advance", {"until": args.until}))
+    save_service(args.state_dir, server)
+    health = server.handle(Request("GET", "/health"))
+    if args.json:
+        print(health.json())
+    else:
+        print(format_service_health(health.body))
+    if args.report_out:
+        Path(args.report_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report_out).write_text(
+            format_service_health(health.body)
+        )
+        print(f"service health report -> {args.report_out}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import Request, save_service
+
+    server = _load_server(args, create=True)
+    mode = (
+        "baseline" if args.baseline
+        else ("model" if args.model else "oracle")
+    )
+    params = {
+        "tenant": args.tenant,
+        "kernel": args.kernel,
+        "kernel_seed": args.kernel_seed,
+        "size": args.size,
+        "mode": mode,
+        "model": args.model,
+        "hours": args.hours,
+        "seed": args.seed,
+        "seed_corpus": args.seed_corpus,
+        "workers": args.workers,
+        "shards": args.shards,
+        "batch_size": args.batch_size,
+        "heartbeat_deadline": args.heartbeat_deadline,
+        "faults": json.loads(Path(args.faults).read_text())
+        if args.faults else None,
+        "max_concurrent": args.max_concurrent,
+        "budget_hours": args.budget_hours,
+        "priority": args.priority,
+    }
+    response = server.handle(Request("POST", "/campaigns", params))
+    if response.ok:
+        save_service(args.state_dir, server)
+        if not args.json:
+            job = response.body["job"]
+            print(f"submitted {job['job_id']} for tenant "
+                  f"{job['tenant']}: {job['spec']['mode']} on kernel "
+                  f"{job['spec']['kernel']}, {job['spec']['hours']:.1f}h x "
+                  f"{job['spec']['workers']} worker(s) [{job['state']}]")
+    return _respond(response, args.json)
+
+
+def _cmd_status(args) -> int:
+    from repro.service import Request, format_service_health
+
+    server = _load_server(args)
+    if server is None:
+        return 2
+    if args.campaign:
+        response = server.handle(
+            Request("GET", f"/campaigns/{args.campaign}")
+        )
+        if response.ok and not args.json:
+            job = response.body["job"]
+            done = job["local_now"] / max(job["horizon"], 1.0)
+            print(f"{job['job_id']} [{job['tenant']}] {job['state']}: "
+                  f"{100.0 * min(done, 1.0):.1f}% of "
+                  f"{job['horizon'] / 3600.0:.1f}h"
+                  + (f" — {job['message']}" if job["message"] else ""))
+        return _respond(response, args.json)
+    if args.tenant:
+        response = server.handle(Request("GET", f"/tenants/{args.tenant}"))
+        if response.ok and not args.json:
+            body = response.body
+            print(f"tenant {body['tenant']}: {body['running']} running, "
+                  f"{body['completed']} done, {body['cancelled']} "
+                  f"cancelled, {body['rejected']} rejected; "
+                  f"budget {body['budget_remaining']:.1f}h of "
+                  f"{body['quota']['budget_hours']:.1f}h left; "
+                  f"jobs: {', '.join(body['jobs']) or '(none)'}")
+        return _respond(response, args.json)
+    response = server.handle(Request("GET", "/health"))
+    if args.json:
+        print(response.json())
+    else:
+        print(format_service_health(response.body))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service import Request, save_service
+
+    server = _load_server(args)
+    if server is None:
+        return 2
+    response = server.handle(
+        Request("POST", f"/campaigns/{args.campaign}/cancel")
+    )
+    if response.ok:
+        save_service(args.state_dir, server)
+        if not args.json:
+            job = response.body["job"]
+            print(f"{job['job_id']}: {job['state']}"
+                  + (f" — {job['message']}" if job["message"] else ""))
+    return _respond(response, args.json)
 
 
 # ----- telemetry post-processing -----
@@ -715,7 +849,84 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serving-tier max batch size (1 disables batching)")
     p.add_argument("--observe-dir", default=None,
                    help="export per-fleet-size telemetry under this directory")
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON instead of the text "
+                        "table (exit codes are unchanged)")
     p.set_defaults(func=_cmd_cluster)
+
+    # --- the campaign service ---
+
+    def _add_state_dir(q):
+        q.add_argument("--state-dir", required=True,
+                       help="directory holding the service checkpoint "
+                            "(service.json, format v6)")
+        q.add_argument("--json", action="store_true",
+                       help="print the raw API response as JSON")
+
+    p = sub.add_parser(
+        "serve",
+        help="advance the campaign service: admit queued campaigns, "
+             "time-slice the fleet, checkpoint, print the health report",
+    )
+    _add_state_dir(p)
+    p.add_argument("--fleet-size", type=int, default=4,
+                   help="shared fleet worker slots (new services only)")
+    p.add_argument("--time-slice", type=float, default=1800.0,
+                   help="virtual seconds per scheduling slice "
+                        "(new services only)")
+    p.add_argument("--until", type=float, default=None,
+                   help="stop at this service virtual time (seconds); "
+                        "default runs every admitted campaign to its "
+                        "horizon")
+    p.add_argument("--report-out", default=None,
+                   help="also write the health report to this path")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a campaign to the service as a tenant"
+    )
+    _add_state_dir(p)
+    p.add_argument("--fleet-size", type=int, default=4,
+                   help="fleet size if this submit creates the service")
+    p.add_argument("--time-slice", type=float, default=1800.0,
+                   help="scheduling slice if this submit creates the service")
+    p.add_argument("--tenant", required=True, help="tenant (session) name")
+    _add_kernel_args(p)
+    p.add_argument("--model", help="PMM checkpoint (Snowplow mode)")
+    p.add_argument("--baseline", action="store_true",
+                   help="run plain Syzkaller instead of Snowplow")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed-corpus", type=int, default=100)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--batch-size", type=int, default=None)
+    p.add_argument("--heartbeat-deadline", type=float, default=None,
+                   help="attach a fleet supervisor (cluster campaigns)")
+    p.add_argument("--faults", default=None,
+                   help="JSON file with a FaultPlan.to_dict() payload to "
+                        "inject into this campaign")
+    p.add_argument("--priority", type=int, default=None,
+                   help="tenant priority (higher admits first)")
+    p.add_argument("--max-concurrent", type=int, default=None,
+                   help="tenant cap on concurrently running campaigns")
+    p.add_argument("--budget-hours", type=float, default=None,
+                   help="tenant budget in virtual worker-hours")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "status",
+        help="service health report, one campaign, or one tenant",
+    )
+    _add_state_dir(p)
+    p.add_argument("--campaign", default=None, help="campaign id (job-N)")
+    p.add_argument("--tenant", default=None, help="tenant name")
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a submitted campaign")
+    _add_state_dir(p)
+    p.add_argument("--campaign", required=True, help="campaign id (job-N)")
+    p.set_defaults(func=_cmd_cancel)
 
     p = sub.add_parser("observe",
                        help="render, diff, and check exported telemetry")

@@ -383,6 +383,37 @@ class ClusterFuzzer:
         self.run_until(float("inf"))
         return self.finalize()
 
+    # Multiplexing hooks: the service orchestrator time-slices many
+    # campaigns over one fleet by driving each ``run_until`` in bounded
+    # increments, so it needs to read fleet progress without finalizing.
+
+    @property
+    def now(self) -> float:
+        """Fleet-local virtual time: how far every runnable worker has
+        been driven.  Killed workers pin this to their kill time until a
+        supervisor revives them (an unsupervised kill is permanent, so
+        their stopped clock is excluded)."""
+        clocks = [
+            worker.loop.clock.now
+            for worker in self.workers
+            if not (worker.killed and self.supervisor is None)
+        ]
+        return min(clocks, default=0.0)
+
+    @property
+    def horizon(self) -> float:
+        return max(worker.loop.clock.horizon for worker in self.workers)
+
+    @property
+    def done(self) -> bool:
+        """True once no worker can make further progress: each clock has
+        expired, or the worker is dead with nobody to revive it."""
+        return all(
+            worker.loop.clock.expired()
+            or (worker.killed and self.supervisor is None)
+            for worker in self.workers
+        )
+
     def finalize(self) -> ClusterResult:
         if hasattr(self.hub, "recover_all"):
             # Campaign teardown recovers any still-failed shard so the

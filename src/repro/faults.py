@@ -155,6 +155,44 @@ class FaultPlan:
         """A copy where hub shard ``shard`` is down over [start, end)."""
         return self.with_window(f"shard_loss:{shard}", start, end)
 
+    def with_campaign_crash(self, time: float) -> "FaultPlan":
+        """A copy where the campaign process dies at ``time`` (an event,
+        like :meth:`with_worker_kill`; the resume path picks it up via
+        :meth:`crash_time`)."""
+        return self.with_window("campaign_crash", time, time)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready encoding (the wire/checkpoint format).
+
+        Tenants attach degradation schedules to service campaign specs
+        as plain JSON; :meth:`from_dict` round-trips to an equal plan,
+        so two injectors built from the encoded and original plans fire
+        identically.
+        """
+        return {
+            "seed": self.seed,
+            "rates": dict(sorted(self.rates.items())),
+            "windows": [
+                [window.site, window.start, window.end]
+                for window in self.windows
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """The inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            rates={
+                str(site): float(rate)
+                for site, rate in payload.get("rates", {}).items()
+            },
+            windows=tuple(
+                FaultWindow(str(site), float(start), float(end))
+                for site, start, end in payload.get("windows", [])
+            ),
+        )
+
     def crash_time(self) -> float | None:
         """Virtual time of the first ``campaign_crash`` window, if any."""
         times = [

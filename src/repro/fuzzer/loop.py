@@ -180,6 +180,34 @@ class FuzzStats:
         """Block coverage at the end of the run."""
         return self.observations[-1].blocks if self.observations else 0
 
+    def signature(self) -> tuple:
+        """A hashable digest of everything the campaign *computed*.
+
+        Counts the simulated work — canonical counters, mutation tally,
+        crash set, and the full coverage timeline — while excluding
+        process incidents (the diagnostic ``resumes`` counter), so two
+        replays of the same campaign compare equal even when one of them
+        was resumed from a checkpoint.  This is the single-worker
+        counterpart of :meth:`repro.cluster.ClusterResult.signature`:
+        the standalone-vs-service isolation gate compares exactly this.
+        """
+        return (
+            tuple(
+                (name, value)
+                for name, value in sorted(self.counter_values().items())
+                if name not in _DIAGNOSTIC_COUNTERS
+            ),
+            tuple(sorted(dict(self.mutations).items())),
+            tuple(
+                (crash.signature, crash.is_new) for crash in self.crashes
+            ),
+            self.breaker_state,
+            tuple(
+                (obs.time, obs.edges, obs.blocks, obs.executions)
+                for obs in self.observations
+            ),
+        )
+
     def time_to_edges(self, edges: int) -> float | None:
         """First virtual time at which coverage reached ``edges``."""
         for observation in self.observations:

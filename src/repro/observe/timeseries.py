@@ -37,6 +37,7 @@ and ``<key>/count`` (merge ``last``).
 from __future__ import annotations
 
 import json
+import math
 from bisect import bisect_left, bisect_right
 
 __all__ = [
@@ -223,6 +224,22 @@ class TimeSeriesStore:
     @property
     def last_sample_time(self) -> float | None:
         return self._last_sample
+
+    def slice(self, pattern: str | None = None,
+              since: float | None = None) -> dict[str, list[list[float]]]:
+        """A JSON-ready window over the store: every series matching
+        ``pattern`` (substring, as in :meth:`series`), restricted to
+        points strictly after ``since``.
+
+        This is the progress-streaming primitive: a client polls with
+        the last timestamp it has seen and receives only the new points,
+        per campaign, without the service re-exporting whole files.
+        """
+        start = None if since is None else math.nextafter(since, math.inf)
+        return {
+            key: [[time, value] for time, value in self.points(key, start)]
+            for key in self.series(pattern)
+        }
 
     def __len__(self) -> int:
         return len(self._series)

@@ -1,0 +1,65 @@
+"""Service-level checkpoint/resume (format v6).
+
+The whole control plane — tenant sessions, every job record, and each
+admitted campaign's execution state — persists as **one** digest-checked
+envelope via the same :func:`~repro.snowplow.checkpointing.save_checkpoint`
+machinery single campaigns use, so corruption, truncation, and version
+skew fail loudly instead of resuming from garbage.
+
+The state is layered: the *control* layer (sessions, job specs,
+progress, results, the service clock) is plain JSON that ``submit``,
+``status``, and ``cancel`` read and mutate without ever building a
+kernel or a loop; the *exec* layer (per-job ``loop_state`` /
+``cluster_state`` payloads) is only touched by ``serve``, which
+materializes runners from it.  Killing the service and restoring the
+same bytes therefore replays every tenant's remaining schedule
+bit-identically — the same two-independent-restores contract the PR-6
+chaos gate pins for a single cluster, now for the whole fleet of
+tenants at once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.snowplow.checkpointing import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "SERVICE_STATE_FILE",
+    "load_service",
+    "save_service",
+    "service_exists",
+]
+
+SERVICE_STATE_FILE = "service.json"
+
+
+def _state_path(directory) -> Path:
+    return Path(directory) / SERVICE_STATE_FILE
+
+
+def service_exists(directory) -> bool:
+    return _state_path(directory).exists()
+
+
+def save_service(directory, server) -> Path:
+    """Persist the whole service under ``directory``."""
+    state = {"kind": "service", "server": server.state_dict()}
+    return save_checkpoint(_state_path(directory), state)
+
+
+def load_service(directory):
+    """A :class:`~repro.service.server.ServiceServer` restored from
+    ``directory``, verifying digest and format version."""
+    from repro.service.server import ServiceServer
+
+    state = load_checkpoint(_state_path(directory))
+    if state.get("kind") != "service":
+        raise CheckpointError(
+            f"{_state_path(directory)} is not a service checkpoint "
+            f"(kind={state.get('kind')!r})"
+        )
+    server = ServiceServer()
+    server.restore(state["server"])
+    return server

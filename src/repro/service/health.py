@@ -1,0 +1,105 @@
+"""The service health view: fleet, tenants, campaigns, SLO posture.
+
+:func:`service_health` assembles a JSON-ready snapshot from control
+state alone (no loops are materialized), and
+:func:`format_service_health` renders it in the ``observe report``
+style — sections, aligned tables, and a coverage sparkline per
+campaign.  Both are pure functions of the service state, so the report
+a CI job uploads is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.observe import sparkline
+
+__all__ = ["format_service_health", "service_health"]
+
+
+def service_health(server) -> dict:
+    """A JSON-ready snapshot of the whole control plane."""
+    orchestrator = server.orchestrator
+    jobs = orchestrator.in_state("queued", "running", "done", "cancelled")
+    sessions = []
+    for session in server.sessions.sessions():
+        payload = session.to_dict()
+        payload["budget_remaining"] = session.budget_remaining
+        payload["alerts"] = sum(
+            len(job.alerts) for job in jobs
+            if job.spec.tenant == session.tenant
+        )
+        sessions.append(payload)
+    return {
+        "now": orchestrator.now,
+        "fleet": {
+            "size": orchestrator.fleet_size,
+            "slots_used": orchestrator.slots_used,
+            "slots_free": orchestrator.slots_free,
+            "time_slice": orchestrator.time_slice,
+        },
+        "sessions": sessions,
+        "jobs": [
+            {
+                **job.summary(),
+                "final_edges": (
+                    job.result.get("final_edges")
+                    if job.result is not None else None
+                ),
+                "edges_timeline": [row[1] for row in job.progress],
+            }
+            for job in jobs
+        ],
+    }
+
+
+def format_service_health(health: dict) -> str:
+    """The human-facing service report for a health snapshot."""
+    fleet = health["fleet"]
+    lines = [
+        "=== service health ===",
+        f"service clock: t={health['now'] / 3600.0:.2f}h   "
+        f"fleet: {fleet['slots_used']}/{fleet['size']} slots busy "
+        f"(slice {fleet['time_slice']:.0f}s)",
+        "",
+        "--- tenants ---",
+        f"{'tenant':<12} {'prio':>4} {'run':>3} {'done':>4} {'canc':>4} "
+        f"{'rej':>3} {'budget left':>16} {'alerts':>6}",
+    ]
+    for session in health["sessions"]:
+        quota = session["quota"]
+        lines.append(
+            f"{session['tenant']:<12} {quota['priority']:>4d} "
+            f"{session['running']:>3d} {session['completed']:>4d} "
+            f"{session['cancelled']:>4d} {session['rejected']:>3d} "
+            f"{session['budget_remaining']:>7.1f}/{quota['budget_hours']:<8.1f} "
+            f"{session['alerts']:>6d}"
+        )
+    lines += ["", "--- campaigns ---"]
+    if not health["jobs"]:
+        lines.append("(none submitted)")
+    for job in health["jobs"]:
+        horizon = job["horizon"] or 1.0
+        pct = 100.0 * min(job["local_now"] / horizon, 1.0)
+        edges = (
+            job["final_edges"]
+            if job["final_edges"] is not None
+            else (job["edges_timeline"][-1] if job["edges_timeline"] else 0)
+        )
+        lines.append(
+            f"{job['job_id']:<8} {job['tenant']:<12} {job['state']:<9} "
+            f"{pct:5.1f}% of {horizon / 3600.0:4.1f}h  "
+            f"edges {edges:>6}  {sparkline(job['edges_timeline']):<24}"
+        )
+        if job["alerts"]:
+            worst = sorted(
+                job["alerts"],
+                key=lambda alert: (alert["severity"] != "critical",
+                                   alert["time"]),
+            )[0]
+            lines.append(
+                f"         alerts: {len(job['alerts'])} "
+                f"(first {worst['severity']}: {worst['rule']})"
+            )
+        if job["message"]:
+            lines.append(f"         note: {job['message']}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Request/response objects and the route table.
+
+No sockets: the "API" is deterministic in-process dispatch.  A
+:class:`Request` is a plain record, a :class:`Response` a status code
+plus a JSON-ready body, and :func:`match` the tiny path router mapping
+``(method, path)`` to a handler name with extracted path parameters.
+Keeping the surface HTTP-shaped (methods, paths, 4xx/5xx semantics)
+means a real transport can be bolted on later without touching any
+handler, while tests stay byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Request", "Response", "Route", "ROUTES", "match"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One API call: ``params`` carries query+body merged, JSON-ready."""
+
+    method: str
+    path: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class Response:
+    status: int
+    body: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> str:
+        """The canonical wire form (sorted keys, stable separators)."""
+        return json.dumps(
+            {"status": self.status, "body": self.body},
+            sort_keys=True, indent=2,
+        )
+
+
+@dataclass(frozen=True)
+class Route:
+    """``pattern`` segments starting with ``<`` bind path parameters."""
+
+    method: str
+    pattern: str
+    handler: str
+
+
+ROUTES = (
+    Route("POST", "/campaigns", "submit"),
+    Route("GET", "/campaigns", "list_campaigns"),
+    Route("GET", "/campaigns/<job_id>", "status"),
+    Route("GET", "/campaigns/<job_id>/progress", "progress"),
+    Route("GET", "/campaigns/<job_id>/result", "result"),
+    Route("POST", "/campaigns/<job_id>/cancel", "cancel"),
+    Route("GET", "/tenants/<tenant>", "tenant_status"),
+    Route("GET", "/health", "health"),
+    Route("POST", "/advance", "advance"),
+)
+
+
+def match(method: str, path: str) -> tuple[str, dict] | None:
+    """The handler name and bound path params for a request, or None."""
+    parts = [piece for piece in path.split("/") if piece]
+    for route in ROUTES:
+        if route.method != method:
+            continue
+        pattern = [piece for piece in route.pattern.split("/") if piece]
+        if len(pattern) != len(parts):
+            continue
+        bound: dict[str, str] = {}
+        for expected, actual in zip(pattern, parts):
+            if expected.startswith("<") and expected.endswith(">"):
+                bound[expected[1:-1]] = actual
+            elif expected != actual:
+                break
+        else:
+            return route.handler, bound
+    return None

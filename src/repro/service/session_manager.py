@@ -1,0 +1,182 @@
+"""Per-tenant sessions: quotas, priorities, and budget accounting.
+
+A :class:`Session` is the control plane's ledger for one tenant: how
+much of the fleet they may hold at once (``max_concurrent`` running
+campaigns), how many worker-hours of virtual execution they may spend
+in total (``budget_hours``), and how urgently their queued work is
+admitted (``priority``, higher first).
+
+Budgets are **reserved at submission** (a campaign's full
+``workers × hours`` cost is charged when it is accepted) and refunded
+pro rata on cancellation — admission control that never over-commits is
+worth more to a shared fleet than exact post-hoc billing.  All
+accounting is in virtual worker-hours, so it is deterministic and
+byte-stable across checkpoint/resume like everything else here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Quota", "QuotaError", "Session", "SessionManager"]
+
+
+class QuotaError(Exception):
+    """A submission the tenant's quota cannot admit (4xx, not a bug)."""
+
+
+@dataclass(frozen=True)
+class Quota:
+    """A tenant's standing limits."""
+
+    max_concurrent: int = 2
+    budget_hours: float = 96.0
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.max_concurrent < 1:
+            raise QuotaError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.budget_hours <= 0:
+            raise QuotaError(
+                f"budget_hours must be > 0, got {self.budget_hours}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "max_concurrent": self.max_concurrent,
+            "budget_hours": self.budget_hours,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Quota":
+        return cls(
+            max_concurrent=int(payload["max_concurrent"]),
+            budget_hours=float(payload["budget_hours"]),
+            priority=int(payload["priority"]),
+        )
+
+
+class Session:
+    """One tenant's ledger."""
+
+    def __init__(self, tenant: str, quota: Quota | None = None):
+        self.tenant = tenant
+        self.quota = quota if quota is not None else Quota()
+        self.charged_hours = 0.0
+        self.refunded_hours = 0.0
+        self.running = 0
+        self.submitted = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.rejected = 0
+
+    @property
+    def budget_remaining(self) -> float:
+        return self.quota.budget_hours - self.charged_hours + self.refunded_hours
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "quota": self.quota.to_dict(),
+            "charged_hours": self.charged_hours,
+            "refunded_hours": self.refunded_hours,
+            "running": self.running,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Session":
+        session = cls(payload["tenant"], Quota.from_dict(payload["quota"]))
+        session.charged_hours = float(payload["charged_hours"])
+        session.refunded_hours = float(payload["refunded_hours"])
+        session.running = int(payload["running"])
+        session.submitted = int(payload["submitted"])
+        session.completed = int(payload["completed"])
+        session.cancelled = int(payload["cancelled"])
+        session.rejected = int(payload["rejected"])
+        return session
+
+
+class SessionManager:
+    """The tenant registry, keyed by tenant name."""
+
+    def __init__(self):
+        self._sessions: dict[str, Session] = {}
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._sessions
+
+    def get(self, tenant: str) -> Session | None:
+        return self._sessions.get(tenant)
+
+    def ensure(self, tenant: str, quota: Quota | None = None) -> Session:
+        """The tenant's session, created on first sight.
+
+        An explicit ``quota`` on a later call re-declares the tenant's
+        limits (already-charged hours are kept, so shrinking a budget
+        below current usage simply blocks further submissions).
+        """
+        session = self._sessions.get(tenant)
+        if session is None:
+            session = Session(tenant, quota)
+            self._sessions[tenant] = session
+        elif quota is not None:
+            session.quota = quota
+        return session
+
+    def sessions(self) -> list[Session]:
+        return [self._sessions[name] for name in sorted(self._sessions)]
+
+    # ----- accounting (called by the orchestrator) -----
+
+    def reserve(self, tenant: str, hours: float) -> None:
+        """Charge ``hours`` against the budget, or raise QuotaError."""
+        session = self._sessions[tenant]
+        if hours > session.budget_remaining + 1e-9:
+            session.rejected += 1
+            raise QuotaError(
+                f"tenant {tenant!r} budget exhausted: campaign needs "
+                f"{hours:.2f} worker-hours, "
+                f"{session.budget_remaining:.2f} remaining of "
+                f"{session.quota.budget_hours:.2f}"
+            )
+        session.charged_hours += hours
+        session.submitted += 1
+
+    def refund(self, tenant: str, hours: float) -> None:
+        self._sessions[tenant].refunded_hours += max(0.0, hours)
+
+    def admit(self, tenant: str) -> None:
+        self._sessions[tenant].running += 1
+
+    def release(self, tenant: str, cancelled: bool = False) -> None:
+        session = self._sessions[tenant]
+        session.running -= 1
+        if cancelled:
+            session.cancelled += 1
+        else:
+            session.completed += 1
+
+    def note_cancelled_queued(self, tenant: str) -> None:
+        self._sessions[tenant].cancelled += 1
+
+    # ----- checkpointing -----
+
+    def state_dict(self) -> dict:
+        return {
+            "sessions": [
+                session.to_dict() for session in self.sessions()
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._sessions = {}
+        for payload in state["sessions"]:
+            session = Session.from_dict(payload)
+            self._sessions[session.tenant] = session

@@ -22,7 +22,10 @@ from repro.snowplow.campaign import (
     ScalingCampaignResult,
     ScalingPoint,
     build_cluster,
+    build_fuzz_loop,
     chaos_plan,
+    fuzz_campaign_config,
+    fuzz_run_seed,
     run_chaos_campaign,
     run_coverage_campaign,
     run_crash_campaign,
@@ -42,6 +45,7 @@ from repro.snowplow.checkpointing import (
     save_checkpoint,
 )
 from repro.snowplow.reporting import (
+    chaos_json,
     format_chaos,
     format_fig6,
     format_scaling,
@@ -49,6 +53,7 @@ from repro.snowplow.reporting import (
     format_table2,
     format_table3,
     format_table5,
+    scaling_json,
 )
 
 __all__ = [
@@ -65,6 +70,8 @@ __all__ = [
     "SnowplowLoop",
     "TrainedPMM",
     "build_cluster",
+    "build_fuzz_loop",
+    "chaos_json",
     "chaos_plan",
     "cluster_state",
     "format_chaos",
@@ -74,6 +81,8 @@ __all__ = [
     "format_table2",
     "format_table3",
     "format_table5",
+    "fuzz_campaign_config",
+    "fuzz_run_seed",
     "load_checkpoint",
     "loop_state",
     "restore_cluster_state",
@@ -85,5 +94,6 @@ __all__ = [
     "run_fault_tolerance_campaign",
     "run_scaling_campaign",
     "save_checkpoint",
+    "scaling_json",
     "train_pmm",
 ]

@@ -76,7 +76,10 @@ __all__ = [
     "ScalingPoint",
     "TrainedPMM",
     "build_cluster",
+    "build_fuzz_loop",
     "chaos_plan",
+    "fuzz_campaign_config",
+    "fuzz_run_seed",
     "default_directed_targets",
     "known_crash_signatures",
     "run_chaos_campaign",
@@ -307,6 +310,79 @@ def _build_snowplow_loop(
         injector=injector, service=service, observer=observer,
         worker=worker, analysis=analysis,
     )
+
+
+# ----- the one campaign entry point (CLI fuzz == service job) -----
+
+
+def fuzz_run_seed(seed: int, kernel_version: str) -> int:
+    """The `repro fuzz` seed derivation.
+
+    Shared by the CLI and :mod:`repro.service` so a campaign submitted
+    to the control plane replays the standalone ``repro fuzz`` run of
+    the same spec bit-identically.
+    """
+    return derive_seed(seed, "cli-fuzz", kernel_version)
+
+
+def fuzz_campaign_config(
+    hours: float,
+    seed: int,
+    seed_corpus: int = 50,
+    batch_size: int | None = None,
+) -> CampaignConfig:
+    """The `repro fuzz` campaign parameters for a given horizon/seed.
+
+    One constructor for every front door (CLI flags, service specs) so
+    sample cadence and Snowplow tuning can never drift between them.
+    """
+    snowplow = SnowplowConfig()
+    if batch_size is not None:
+        snowplow.max_batch_size = batch_size
+    return CampaignConfig(
+        horizon=hours * HOUR,
+        runs=1,
+        seed=seed,
+        seed_corpus_size=seed_corpus,
+        sample_interval=max(hours * HOUR / 16.0, 60.0),
+        snowplow=snowplow,
+    )
+
+
+def build_fuzz_loop(
+    kernel: Kernel,
+    trained: TrainedPMM | None,
+    run_seed: int,
+    config: CampaignConfig,
+    baseline: bool = False,
+    oracle: bool = False,
+    injector: FaultInjector | None = None,
+    observer: Observer | None = None,
+    analysis=None,
+) -> FuzzLoop:
+    """A seeded single-worker campaign loop, ready to ``run()``.
+
+    Exactly the loop `repro fuzz` runs for ``--workers 1``: the
+    Syzkaller baseline when ``baseline=True``, else a Snowplow loop
+    (oracle- or PMM-localized), seeded from the ``(run_seed,
+    "seed-corpus")`` stream.  The orchestrator drives the same builder,
+    which is what makes standalone-vs-multiplexed bit-identity a
+    structural property instead of a test-time coincidence.
+    """
+    if baseline:
+        loop: FuzzLoop = _build_syzkaller_loop(
+            kernel, run_seed, config, injector=injector, observer=observer,
+        )
+    else:
+        loop = _build_snowplow_loop(
+            kernel, trained, run_seed, config, oracle=oracle,
+            injector=injector, observer=observer, analysis=analysis,
+        )
+    seeds = ProgramGenerator(
+        kernel.table, split(run_seed, "seed-corpus")
+    ).seed_corpus(config.seed_corpus_size)
+    loop.seed(seeds)
+    return loop
 
 
 def run_coverage_campaign(

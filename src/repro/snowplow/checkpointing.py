@@ -51,7 +51,12 @@ __all__ = [
 # generation, partition drops, heartbeat), the supervisor's
 # generations/next-check, and the sharded hub's watermarks/backlog —
 # so chaos campaigns kill+resume bit-identically.
-_FORMAT_VERSION = 5
+# v6: service-level state — the control plane (:mod:`repro.service`)
+# checkpoints tenant sessions, job records, and each admitted
+# campaign's exec state (a ``loop_state``/``cluster_state`` payload per
+# running job) in one digest-checked envelope, so killing and resuming
+# the whole service replays every tenant's campaign bit-identically.
+_FORMAT_VERSION = 6
 
 # Transient checkpoint-store write failures retried before giving up.
 _WRITE_ATTEMPTS = 5

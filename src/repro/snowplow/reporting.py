@@ -1,6 +1,14 @@
-"""Human-readable rendering of the paper's tables and figures."""
+"""Human-readable rendering of the paper's tables and figures.
+
+``scaling_json``/``chaos_json`` are the machine-readable twins of
+``format_scaling``/``format_chaos``: canonical JSON (sorted keys,
+stable separators) so the service and CI consume campaign outcomes
+without screen-scraping the text tables.
+"""
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 
@@ -16,6 +24,7 @@ from repro.snowplow.campaign import (
 )
 
 __all__ = [
+    "chaos_json",
     "format_table1",
     "format_chaos",
     "format_fig6",
@@ -23,6 +32,7 @@ __all__ = [
     "format_table2",
     "format_table3",
     "format_table5",
+    "scaling_json",
 ]
 
 _TABLE3_ORDER = (
@@ -146,6 +156,77 @@ def format_scaling(result: ScalingCampaignResult) -> str:
                 f"pushed {stats.hub_pushed}, pulled {stats.hub_pulled}"
             )
     return "\n".join(lines)
+
+
+def scaling_json(result: ScalingCampaignResult) -> str:
+    """Canonical JSON for the fleet sweep (``repro cluster --json``)."""
+    qps = result.observed_qps()
+    points = []
+    for point in result.points:
+        cluster = point.result
+        merged = cluster.merged
+        service = cluster.service_stats
+        points.append({
+            "workers": point.workers,
+            "final_edges": cluster.final_edges,
+            "final_blocks": cluster.final_blocks,
+            "executions": merged.executions,
+            "hub_syncs": merged.hub_syncs,
+            "hub_accepted": cluster.hub_stats.accepted,
+            "hub_duplicates": cluster.hub_stats.duplicates,
+            "inference_qps": qps[point.workers],
+            "mean_batch_size": (
+                service.mean_batch_size
+                if service is not None and service.batch_sizes else None
+            ),
+            "worker_stats": [
+                {
+                    "worker": worker_id,
+                    "final_edges": stats.final_edges,
+                    "executions": stats.executions,
+                    "hub_pushed": stats.hub_pushed,
+                    "hub_pulled": stats.hub_pulled,
+                }
+                for worker_id, stats in enumerate(cluster.worker_stats)
+            ],
+        })
+    payload = {
+        "kernel": result.kernel_version,
+        "horizon_hours": result.horizon / 3600.0,
+        "points": points,
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def chaos_json(result: ChaosCampaignResult) -> str:
+    """Canonical JSON for the chaos gate (``repro cluster chaos --json``)."""
+    payload = {
+        "kernel": result.kernel_version,
+        "horizon_hours": result.horizon / 3600.0,
+        "workers": result.workers,
+        "shards": result.shards,
+        "plan": result.plan.to_dict(),
+        "recovery": {
+            "restarts": result.restarts,
+            "dropped_entries": result.dropped_entries,
+            "shed": result.shed,
+            "outstanding_lost": result.outstanding_lost,
+        },
+        "coverage": {
+            "clean_edges": result.clean.final_edges,
+            "chaos_edges": result.chaos.final_edges,
+            "peak_edges": result.peak_edges,
+            "ratio_pct": 100.0 * result.coverage_ratio,
+        },
+        "invariants": {
+            "zero_corpus_loss": result.zero_corpus_loss,
+            "coverage_monotone": result.coverage_monotone,
+            "resume_identical": result.resume_identical,
+            "degraded_gracefully": result.degraded_gracefully(),
+        },
+        "passed": result.passed(),
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)
 
 
 def format_chaos(result: ChaosCampaignResult) -> str:
