@@ -44,6 +44,7 @@ from repro.analyze.lint import (
     run_corpus_checks,
     run_kernel_checks,
     strict_failures,
+    table_mismatch_findings,
 )
 from repro.analyze.reach import (
     AbstractValue,
@@ -79,5 +80,6 @@ __all__ = [
     "run_kernel_checks",
     "static_truths",
     "strict_failures",
+    "table_mismatch_findings",
     "witness_program",
 ]

@@ -31,10 +31,11 @@ from repro.analyze.reach import AbstractValue, ReachabilityAnalysis
 from repro.errors import AnalysisError, SpecError
 from repro.kernel.blocks import BlockRole
 from repro.kernel.build import Kernel, enumerate_type_paths, resource_guard_paths
-from repro.kernel.conditions import ArgCondition, StateCondition
+from repro.kernel.conditions import ArgCondition, CondOp, StateCondition
 from repro.syzlang.program import Program, PtrValue, ResourceValue
 from repro.syzlang.slots import slot_token
-from repro.syzlang.types import PtrType
+from repro.syzlang.spec import SyscallTable
+from repro.syzlang.types import FlagsType, PtrType
 
 __all__ = [
     "Check",
@@ -49,6 +50,7 @@ __all__ = [
     "run_corpus_checks",
     "run_kernel_checks",
     "strict_failures",
+    "table_mismatch_findings",
 ]
 
 FINDINGS_VERSION = 1
@@ -339,6 +341,119 @@ def _check_unsteerable(ctx: KernelLintContext) -> Iterator[Finding]:
                 f"taken edge of block {block_id} depends only on state "
                 "flags whose producers expose no steering slots",
             )
+
+
+@kernel_check("spec-table-mismatch", Severity.WARNING)
+def _check_spec_table(ctx: KernelLintContext) -> Iterator[Finding]:
+    """The table's flag domains and the kernel's mask constants agree."""
+    yield from table_mismatch_findings(
+        ctx.kernel, ctx.kernel.table, namespace=ctx.namespace
+    )
+
+
+def table_mismatch_findings(
+    kernel: Kernel, table: SyscallTable, namespace: str = ""
+) -> list[Finding]:
+    """Cross-validate any :class:`SyscallTable` against the kernel CFGs.
+
+    Works on the table the kernel was built from *and* on externally
+    supplied tables (``repro specgen infer --lint``).  Two directions:
+
+    - kernel→table (**error**): every mask branch must land on a flags
+      leaf the table can address, with operand bits inside the declared
+      domain — violated only by a table that genuinely disagrees with
+      the kernel it claims to describe, so this gates ``--strict``.
+    - table→kernel (**warning**): declared flag bits the kernel never
+      branches on.  Routine for hand-written tables (the builder
+      branches on a random subset of declared bits) and exactly the
+      unrecoverable remainder for inferred ones.
+    """
+    check = _REGISTRY[("kernel", "spec-table-mismatch")]
+    findings: list[Finding] = []
+    leaves_cache: dict[str, dict[tuple[int, ...], FlagsType] | None] = {}
+
+    def flag_leaves(name: str):
+        if name not in leaves_cache:
+            try:
+                spec = table.lookup(name)
+            except SpecError:
+                leaves_cache[name] = None
+            else:
+                leaves_cache[name] = {
+                    path: leaf
+                    for path, leaf in enumerate_type_paths(spec)
+                    if isinstance(leaf, FlagsType)
+                }
+        return leaves_cache[name]
+
+    observed: dict[tuple[str, tuple[int, ...]], int] = {}
+    for block_id in sorted(kernel.blocks):
+        condition = kernel.blocks[block_id].condition
+        if not isinstance(condition, ArgCondition):
+            continue
+        if condition.op not in (CondOp.MASK_SET, CondOp.MASK_CLEAR):
+            continue
+        name = condition.syscall
+        location = f"{namespace}{name}/block/{block_id}"
+        leaves = flag_leaves(name)
+        if leaves is None:
+            findings.append(Finding(
+                check=check.name, severity=Severity.ERROR, scope="kernel",
+                location=location,
+                message=f"mask branch on syscall {name!r} which the "
+                        "table does not describe",
+            ))
+            continue
+        leaf = leaves.get(condition.path_elements)
+        if leaf is None:
+            findings.append(Finding(
+                check=check.name, severity=Severity.ERROR, scope="kernel",
+                location=location,
+                message=f"mask branch at path {condition.path_elements} "
+                        f"of {name} does not address a flags leaf of "
+                        "the table",
+            ))
+            continue
+        key = (name, condition.path_elements)
+        observed[key] = observed.get(key, 0) | condition.operand
+        stray = condition.operand & ~leaf.all_bits()
+        if stray == 1 and any(bit == 0 for _, bit in leaf.flags):
+            # The builder substitutes operand 1 when it draws a
+            # zero-valued flag from a domain whose first flag is also 0
+            # (mask branches on 0 are meaningless), so bit 0x1 next to a
+            # declared zero flag is kernel-builder policy, not mismatch.
+            stray = 0
+        if stray:
+            findings.append(Finding(
+                check=check.name, severity=Severity.ERROR, scope="kernel",
+                location=location,
+                message=f"mask constant 0x{condition.operand:x} uses "
+                        f"bits 0x{stray:x} absent from the declared "
+                        f"flag domain at {condition.path_elements}",
+            ))
+
+    for spec in table:
+        if spec.full_name not in kernel.handlers:
+            continue
+        for path, leaf in enumerate_type_paths(spec):
+            if not isinstance(leaf, FlagsType):
+                continue
+            unused = leaf.all_bits() & ~observed.get(
+                (spec.full_name, path), 0
+            )
+            if not unused:
+                continue
+            names = ", ".join(leaf.names_for(unused)) or f"0x{unused:x}"
+            path_text = ".".join(str(element) for element in path)
+            findings.append(Finding(
+                check=check.name, severity=Severity.WARNING, scope="kernel",
+                location=f"{namespace}{spec.full_name}/path/{path_text}",
+                message=f"declared flag bits 0x{unused:x} ({names}) are "
+                        "never branched on by the kernel",
+            ))
+
+    findings.sort(key=Finding.sort_key)
+    return findings
 
 
 # ---------------------------------------------------------------------------

@@ -726,6 +726,166 @@ def _cmd_analyze_oracle(args) -> int:
     return 0 if oracle_metrics.precision == oracle_metrics.recall == 1.0 else 1
 
 
+# ----- spec inference -----
+
+
+def _specgen_releases(args) -> list[str]:
+    return [
+        piece for piece in (args.releases or args.kernel).split(",") if piece
+    ]
+
+
+def _specgen_path(out_dir: Path, version: str) -> Path:
+    return out_dir / f"specs_{version.replace('.', '_')}.syz"
+
+
+def _cmd_specgen_infer(args) -> int:
+    from repro.analyze import strict_failures, table_mismatch_findings
+    from repro.specgen import infer_specs, parse_table, serialize_table
+
+    observer = _analyze_observer(args)
+    findings = []
+    exit_code = 0
+    for version in _specgen_releases(args):
+        kernel = build_kernel(version, seed=args.kernel_seed, size=args.size)
+        table, report = infer_specs(kernel, observer=observer)
+        text = serialize_table(
+            table,
+            comment=f"inferred from kernel {version} "
+                    f"(seed={args.kernel_seed}, size={args.size})",
+        )
+        if parse_table(text) != table:
+            print(f"{version}: emitted syzlang does not round-trip",
+                  file=sys.stderr)
+            exit_code = 1
+        print(f"kernel {version}: inferred {report.syscalls} specs, "
+              f"{report.args_total} args ({report.resource_args} resources, "
+              f"{report.flag_leaves} flag leaves / {report.flag_bits} bits, "
+              f"{report.struct_nodes} structs), {report.producers} "
+              f"producers, {len(report.state_edges)} state edges")
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = _specgen_path(out_dir, version)
+            path.write_text(text)
+            print(f"  syzlang written to {path}")
+        if args.lint:
+            namespace = f"{version}/" if len(_specgen_releases(args)) > 1 \
+                else ""
+            produced = table_mismatch_findings(
+                kernel, table, namespace=namespace
+            )
+            findings += produced
+            print(f"  lint: {len(produced)} finding(s), "
+                  f"{len(strict_failures(produced))} error(s)")
+    _export_observer(observer, getattr(args, "observe_dir", None))
+    for finding in strict_failures(findings):
+        print(f"  [error] {finding.check} @ {finding.location}: "
+              f"{finding.message}")
+    if args.strict and strict_failures(findings):
+        print("--strict: inferred table disagrees with the kernel",
+              file=sys.stderr)
+        return 1
+    return exit_code
+
+
+_SPECGEN_FLOORS = (
+    # (option attr, TableFidelity property, human name)
+    ("min_syscall_coverage", "syscall_coverage", "syscall coverage"),
+    ("min_kind_accuracy", "kind_accuracy", "argument-kind accuracy"),
+    ("min_flag_recall", "flag_recall", "flag-domain recall"),
+    ("min_resource_precision", "resource_precision", "resource precision"),
+    ("min_resource_recall", "resource_recall", "resource recall"),
+)
+
+
+def _check_fidelity_floors(args, fidelities) -> list[str]:
+    failures = []
+    for fidelity in fidelities:
+        for attr, prop, name in _SPECGEN_FLOORS:
+            floor = getattr(args, attr)
+            value = getattr(fidelity, prop)
+            if value < floor:
+                failures.append(
+                    f"{fidelity.version}: {name} {value:.3f} "
+                    f"below floor {floor:.3f}"
+                )
+    return failures
+
+
+def _cmd_specgen_diff(args) -> int:
+    from repro.specgen import diff_tables, fidelity_json, infer_table
+    from repro.syzlang.stdlib import build_standard_table
+
+    observer = _analyze_observer(args)
+    fidelities = []
+    print(f"{'Kernel':<7} {'Specs':>11} {'KindAcc':>8} {'FlagRec':>8} "
+          f"{'ResPrec':>8} {'ResRec':>8}")
+    for version in _specgen_releases(args):
+        kernel = build_kernel(version, seed=args.kernel_seed, size=args.size)
+        fidelity = diff_tables(
+            infer_table(kernel, observer=observer),
+            build_standard_table(version),
+            version=version,
+        )
+        fidelities.append(fidelity)
+        specs = f"{fidelity.matched_syscalls}/{fidelity.truth_syscalls}"
+        print(f"{version:<7} {specs:>11} {fidelity.kind_accuracy:>8.3f} "
+              f"{fidelity.flag_recall:>8.3f} "
+              f"{fidelity.resource_precision:>8.3f} "
+              f"{fidelity.resource_recall:>8.3f}")
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(fidelity_json(
+            fidelities, size=args.size, kernel_seed=args.kernel_seed,
+        ))
+        print(f"fidelity report written to {args.out}")
+    _export_observer(observer, getattr(args, "observe_dir", None))
+    failures = _check_fidelity_floors(args, fidelities)
+    for failure in failures:
+        print(f"  [floor] {failure}", file=sys.stderr)
+    if args.strict and failures:
+        print(f"--strict: {len(failures)} fidelity floor(s) violated",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_specgen_campaign(args) -> int:
+    from repro.snowplow import format_specgen, specgen_json
+    from repro.specgen import run_specgen_campaign
+
+    observer = _analyze_observer(args)
+    result = run_specgen_campaign(
+        versions=tuple(_specgen_releases(args)),
+        seed=args.seed,
+        kernel_seed=args.kernel_seed,
+        size=args.size,
+        hours=args.hours,
+        seed_corpus=args.seed_corpus,
+        observer=observer,
+    )
+    print(specgen_json(result) if args.json else format_specgen(result))
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(specgen_json(result) + "\n")
+        print(f"campaign report written to {args.out}")
+    _export_observer(observer, getattr(args, "observe_dir", None))
+    failures = [
+        f"{run.version}: coverage ratio {run.coverage_ratio:.3f} "
+        f"below floor {args.min_ratio:.3f}"
+        for run in result.runs
+        if run.coverage_ratio < args.min_ratio
+    ]
+    for failure in failures:
+        print(f"  [floor] {failure}", file=sys.stderr)
+    if args.strict and failures:
+        print(f"--strict: {len(failures)} coverage floor(s) violated",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_exec(args) -> int:
     kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
     with open(args.prog) as handle:
@@ -1041,6 +1201,71 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--out", default=None,
                    help="write oracle metrics JSON here")
     q.set_defaults(func=_cmd_analyze_oracle)
+
+    p = sub.add_parser(
+        "specgen",
+        help="infer syzlang specs from the kernel and fuzz without "
+             "ground truth",
+    )
+    specgen_sub = p.add_subparsers(dest="specgen_command", required=True)
+
+    def _add_specgen_common(q: argparse.ArgumentParser) -> None:
+        _add_kernel_args(q)
+        q.add_argument("--releases", default=None,
+                       help="comma-separated kernel versions "
+                            "(overrides --kernel)")
+        q.add_argument("--strict", action="store_true",
+                       help="exit 1 when a gate condition fails")
+        q.add_argument("--observe-dir", default=None,
+                       help="export inference-quality telemetry here")
+
+    q = specgen_sub.add_parser(
+        "infer",
+        help="infer a syscall table per release and emit syzlang text",
+    )
+    _add_specgen_common(q)
+    q.add_argument("--out", default=None,
+                   help="directory for the inferred specs_<ver>.syz files")
+    q.add_argument("--lint", action="store_true",
+                   help="cross-validate each inferred table against its "
+                        "kernel (spec-table-mismatch)")
+    q.set_defaults(func=_cmd_specgen_infer)
+
+    q = specgen_sub.add_parser(
+        "diff",
+        help="score inferred tables against the hand-written stdlib",
+    )
+    _add_specgen_common(q)
+    q.add_argument("--out", default=None,
+                   help="write the canonical fidelity report JSON here")
+    q.add_argument("--min-syscall-coverage", type=float, default=1.0,
+                   help="--strict floor on matched/truth syscalls")
+    q.add_argument("--min-kind-accuracy", type=float, default=0.7,
+                   help="--strict floor on argument-kind accuracy")
+    q.add_argument("--min-flag-recall", type=float, default=0.2,
+                   help="--strict floor on flag-domain recall")
+    q.add_argument("--min-resource-precision", type=float, default=0.6,
+                   help="--strict floor on resource-edge precision")
+    q.add_argument("--min-resource-recall", type=float, default=0.4,
+                   help="--strict floor on resource-edge recall")
+    q.set_defaults(func=_cmd_specgen_diff)
+
+    q = specgen_sub.add_parser(
+        "campaign",
+        help="seeded inferred-vs-ground-truth fuzzing evaluation",
+    )
+    _add_specgen_common(q)
+    q.add_argument("--hours", type=float, default=0.5,
+                   help="virtual hours per run")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--seed-corpus", type=int, default=15)
+    q.add_argument("--min-ratio", type=float, default=0.7,
+                   help="--strict floor on inferred/truth coverage ratio")
+    q.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON instead of the table")
+    q.add_argument("--out", default=None,
+                   help="write the campaign report JSON here")
+    q.set_defaults(func=_cmd_specgen_campaign)
 
     p = sub.add_parser("exec", help="execute a syz-format program")
     _add_kernel_args(p)

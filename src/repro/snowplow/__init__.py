@@ -49,11 +49,13 @@ from repro.snowplow.reporting import (
     format_chaos,
     format_fig6,
     format_scaling,
+    format_specgen,
     format_table1,
     format_table2,
     format_table3,
     format_table5,
     scaling_json,
+    specgen_json,
 )
 
 __all__ = [
@@ -77,6 +79,7 @@ __all__ = [
     "format_chaos",
     "format_fig6",
     "format_scaling",
+    "format_specgen",
     "format_table1",
     "format_table2",
     "format_table3",
@@ -95,5 +98,6 @@ __all__ = [
     "run_scaling_campaign",
     "save_checkpoint",
     "scaling_json",
+    "specgen_json",
     "train_pmm",
 ]

@@ -29,10 +29,12 @@ __all__ = [
     "format_chaos",
     "format_fig6",
     "format_scaling",
+    "format_specgen",
     "format_table2",
     "format_table3",
     "format_table5",
     "scaling_json",
+    "specgen_json",
 ]
 
 _TABLE3_ORDER = (
@@ -264,6 +266,52 @@ def format_chaos(result: ChaosCampaignResult) -> str:
         lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
     lines.append(f"  verdict: {verdict}")
     return "\n".join(lines)
+
+
+def format_specgen(result) -> str:
+    """The spec-inference evaluation: fidelity and the coverage gap.
+
+    ``result`` is a :class:`~repro.specgen.SpecgenCampaignResult`; the
+    table shows, per release, how faithful the inferred table is to the
+    hand-written stdlib and how much fuzzing coverage survives when the
+    generator only knows the inferred specs.
+    """
+    lines = [
+        f"Spec inference evaluation ({result.hours:.1f}h virtual per run, "
+        f"size={result.size}, seed={result.seed}).",
+        f"{'Kernel':<7} {'Specs':>11} {'KindAcc':>8} {'FlagRec':>8} "
+        f"{'ResP/R':>11} {'Edges t/i':>13} {'Ratio':>7} {'Bugs t/i':>9}",
+    ]
+    for run in result.runs:
+        fid = run.fidelity
+        specs = f"{fid.matched_syscalls}/{fid.truth_syscalls}"
+        res = f"{fid.resource_precision:.2f}/{fid.resource_recall:.2f}"
+        edges = f"{run.truth_edges}/{run.inferred_edges}"
+        bugs = f"{len(run.truth_bugs)}/{len(run.inferred_bugs)}"
+        lines.append(
+            f"{run.version:<7} {specs:>11} {fid.kind_accuracy:>8.3f} "
+            f"{fid.flag_recall:>8.3f} {res:>11} {edges:>13} "
+            f"{run.coverage_ratio:>6.1%} {bugs:>9}"
+        )
+    for run in result.runs:
+        only_truth = sorted(set(run.truth_bugs) - set(run.inferred_bugs))
+        only_inferred = sorted(set(run.inferred_bugs) - set(run.truth_bugs))
+        if only_truth:
+            lines.append(
+                f"  {run.version}: bugs only with ground truth: "
+                + ", ".join(only_truth)
+            )
+        if only_inferred:
+            lines.append(
+                f"  {run.version}: bugs only with inferred specs: "
+                + ", ".join(only_inferred)
+            )
+    return "\n".join(lines)
+
+
+def specgen_json(result) -> str:
+    """Canonical JSON twin of :func:`format_specgen`."""
+    return json.dumps(result.to_dict(), sort_keys=True, indent=2)
 
 
 def format_table2(result: CrashCampaignResult) -> str:

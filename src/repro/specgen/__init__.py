@@ -1,0 +1,50 @@
+"""Spec inference: derive syzlang descriptions from the kernel itself.
+
+``repro.specgen`` is the no-ground-truth scenario axis: given only a
+built synthetic kernel (handler CFGs, branch conditions, state effects),
+recover a fuzzable :class:`~repro.syzlang.spec.SyscallTable`
+(:mod:`.infer`), emit it as round-trippable syzlang text (:mod:`.emit`),
+score it against the hand-written stdlib (:mod:`.diff`), and measure the
+coverage/bug cost of fuzzing with it (:mod:`.campaign`).
+"""
+
+from repro.specgen.campaign import (
+    SpecgenCampaignResult,
+    SpecgenRunResult,
+    kernel_with_table,
+    run_specgen_campaign,
+    specgen_run_seed,
+)
+from repro.specgen.diff import (
+    TableFidelity,
+    diff_tables,
+    fidelity_json,
+    resource_edges,
+)
+from repro.specgen.emit import parse_table, serialize_table
+from repro.specgen.infer import (
+    GENERIC_RESOURCE,
+    InferenceReport,
+    PRODUCER_LEXEMES,
+    infer_specs,
+    infer_table,
+)
+
+__all__ = [
+    "GENERIC_RESOURCE",
+    "InferenceReport",
+    "PRODUCER_LEXEMES",
+    "SpecgenCampaignResult",
+    "SpecgenRunResult",
+    "TableFidelity",
+    "diff_tables",
+    "fidelity_json",
+    "infer_specs",
+    "infer_table",
+    "kernel_with_table",
+    "parse_table",
+    "resource_edges",
+    "run_specgen_campaign",
+    "serialize_table",
+    "specgen_run_seed",
+]

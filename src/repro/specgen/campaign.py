@@ -1,0 +1,204 @@
+"""The spec-inference evaluation campaign: inferred vs. ground truth.
+
+For each kernel release, build the kernel, infer a table from its CFGs,
+then run two *identically seeded* baseline fuzzing campaigns against the
+same kernel — one generating programs from the ground-truth table, one
+from the inferred table.  The executor dispatches on syscall full names
+and resolves handles at runtime, so programs built from the inferred
+table drive the unmodified ground-truth kernel; the only difference
+between the two runs is the spec knowledge the generator/mutator has.
+The coverage ratio (inferred final edges / truth final edges) is the
+headline number: how much fuzzing power survives losing the hand-written
+descriptions.
+
+Everything derives from one campaign seed, so the whole evaluation —
+fidelity scores *and* coverage/bug gaps — replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.kernel import build_kernel
+from repro.kernel.build import Kernel
+from repro.rng import derive_seed
+from repro.snowplow.campaign import build_fuzz_loop, fuzz_campaign_config
+from repro.specgen.diff import TableFidelity, diff_tables
+from repro.specgen.infer import InferenceReport, infer_specs
+from repro.syzlang.spec import SyscallTable
+from repro.syzlang.stdlib import KNOWN_VERSIONS, build_standard_table
+
+__all__ = [
+    "SpecgenCampaignResult",
+    "SpecgenRunResult",
+    "kernel_with_table",
+    "run_specgen_campaign",
+    "specgen_run_seed",
+]
+
+
+def kernel_with_table(kernel: Kernel, table: SyscallTable) -> Kernel:
+    """A view of ``kernel`` that fuzzes under a different syscall table.
+
+    Handlers, blocks, bugs, and the precomputed CFG maps are shared (the
+    kernel itself is unchanged); only the table the program generator
+    and mutation engine consult is swapped.  Requires the table's full
+    names to match the handler names, which inferred tables satisfy by
+    construction.
+    """
+    return Kernel(
+        version=kernel.version,
+        table=table,
+        handlers=kernel.handlers,
+        blocks=kernel.blocks,
+        bugs=kernel.bugs,
+        bug_blocks=kernel.bug_blocks,
+        interrupt_trace=kernel.interrupt_trace,
+        handler_of_block=kernel.handler_of_block,
+        succs=kernel.succs,
+        preds=kernel.preds,
+    )
+
+
+def specgen_run_seed(seed: int, version: str) -> int:
+    """The per-release run-seed derivation of the specgen campaign."""
+    return derive_seed(seed, "specgen", version)
+
+
+@dataclass(frozen=True)
+class SpecgenRunResult:
+    """One release's inferred-vs-truth comparison."""
+
+    version: str
+    fidelity: TableFidelity
+    report: InferenceReport
+    truth_edges: int
+    inferred_edges: int
+    truth_executions: int
+    inferred_executions: int
+    truth_crashes: int
+    inferred_crashes: int
+    truth_bugs: tuple[str, ...]
+    inferred_bugs: tuple[str, ...]
+
+    @property
+    def coverage_ratio(self) -> float:
+        if not self.truth_edges:
+            return 0.0
+        return self.inferred_edges / self.truth_edges
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "fidelity": self.fidelity.to_dict(),
+            "inference": self.report.to_dict(),
+            "truth_edges": self.truth_edges,
+            "inferred_edges": self.inferred_edges,
+            "coverage_ratio": round(self.coverage_ratio, 6),
+            "truth_executions": self.truth_executions,
+            "inferred_executions": self.inferred_executions,
+            "truth_crashes": self.truth_crashes,
+            "inferred_crashes": self.inferred_crashes,
+            "truth_bugs": list(self.truth_bugs),
+            "inferred_bugs": list(self.inferred_bugs),
+        }
+
+
+@dataclass
+class SpecgenCampaignResult:
+    """The full multi-release evaluation."""
+
+    seed: int
+    kernel_seed: int
+    size: str
+    hours: float
+    seed_corpus: int
+    runs: list[SpecgenRunResult] = field(default_factory=list)
+
+    def run_for(self, version: str) -> SpecgenRunResult:
+        for run in self.runs:
+            if run.version == version:
+                return run
+        raise KeyError(version)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kernel_seed": self.kernel_seed,
+            "size": self.size,
+            "hours": self.hours,
+            "seed_corpus": self.seed_corpus,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _distinct_bugs(stats) -> tuple[str, ...]:
+    return tuple(
+        sorted({crash.bug_id for crash in stats.crashes if crash.bug_id})
+    )
+
+
+def run_specgen_campaign(
+    versions: tuple[str, ...] | None = None,
+    seed: int = 0,
+    kernel_seed: int = 1,
+    size: str = "small",
+    hours: float = 0.5,
+    seed_corpus: int = 15,
+    observer=None,
+) -> SpecgenCampaignResult:
+    """Run the seeded inferred-vs-ground-truth evaluation (module doc)."""
+    if versions is None:
+        versions = KNOWN_VERSIONS
+    result = SpecgenCampaignResult(
+        seed=seed, kernel_seed=kernel_seed, size=size, hours=hours,
+        seed_corpus=seed_corpus,
+    )
+    for version in versions:
+        kernel = build_kernel(version, seed=kernel_seed, size=size)
+        inferred, report = infer_specs(kernel, observer=observer)
+        fidelity = diff_tables(
+            inferred, build_standard_table(version), version=version
+        )
+        run_seed = specgen_run_seed(seed, version)
+        config = fuzz_campaign_config(hours=hours, seed=seed, seed_corpus=seed_corpus)
+        truth_stats = build_fuzz_loop(
+            kernel, None, run_seed, config, baseline=True,
+        ).run()
+        inferred_stats = build_fuzz_loop(
+            kernel_with_table(kernel, inferred), None, run_seed, config,
+            baseline=True,
+        ).run()
+        run = SpecgenRunResult(
+            version=version,
+            fidelity=fidelity,
+            report=report,
+            truth_edges=truth_stats.final_edges,
+            inferred_edges=inferred_stats.final_edges,
+            truth_executions=truth_stats.executions,
+            inferred_executions=inferred_stats.executions,
+            truth_crashes=len(truth_stats.crashes),
+            inferred_crashes=len(inferred_stats.crashes),
+            truth_bugs=_distinct_bugs(truth_stats),
+            inferred_bugs=_distinct_bugs(inferred_stats),
+        )
+        result.runs.append(run)
+        if observer is not None:
+            registry = observer.registry
+            registry.gauge(f"specgen.coverage_ratio_{version}").set(
+                run.coverage_ratio
+            )
+            registry.gauge(f"specgen.kind_accuracy_{version}").set(
+                fidelity.kind_accuracy
+            )
+            registry.gauge(f"specgen.flag_recall_{version}").set(
+                fidelity.flag_recall
+            )
+            registry.gauge(f"specgen.resource_recall_{version}").set(
+                fidelity.resource_recall
+            )
+    return result

@@ -1,0 +1,188 @@
+"""Fidelity scoring: inferred tables vs. the ground-truth stdlib.
+
+Pure functions of the two tables — no RNG, no execution — so the same
+pair always produces byte-identical reports.  Three paper-style metrics:
+
+- **argument-kind accuracy**: per aligned argument index, does the
+  inferred coarse kind match the ground truth?  Length fields and
+  const args are fundamentally unrecoverable from branch evidence
+  (they read as plain ints / are invisible), so this sits below 1.0
+  by construction and measures exactly that gap.
+- **flag-domain recall**: of the flag bits declared at ground-truth
+  flag leaves, how many did inference recover at the same flattened
+  path?  Only bits the kernel branches on are recoverable.
+- **resource-edge precision/recall**: producer→consumer syscall pairs
+  implied by each table's resource kinds, compared as edge sets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.syzlang.spec import SyscallSpec, SyscallTable
+from repro.syzlang.types import ArgKind, FlagsType
+
+__all__ = [
+    "TableFidelity",
+    "diff_tables",
+    "fidelity_json",
+    "resource_edges",
+]
+
+
+@dataclass(frozen=True)
+class TableFidelity:
+    """Fidelity of one inferred table against one ground-truth table."""
+
+    version: str
+    truth_syscalls: int
+    inferred_syscalls: int
+    matched_syscalls: int
+    args_total: int
+    args_matched: int
+    flag_bits_total: int
+    flag_bits_recovered: int
+    truth_edges: int
+    inferred_edges: int
+    edge_intersection: int
+
+    @property
+    def syscall_coverage(self) -> float:
+        return _ratio(self.matched_syscalls, self.truth_syscalls)
+
+    @property
+    def kind_accuracy(self) -> float:
+        return _ratio(self.args_matched, self.args_total)
+
+    @property
+    def flag_recall(self) -> float:
+        return _ratio(self.flag_bits_recovered, self.flag_bits_total)
+
+    @property
+    def resource_precision(self) -> float:
+        return _ratio(self.edge_intersection, self.inferred_edges)
+
+    @property
+    def resource_recall(self) -> float:
+        return _ratio(self.edge_intersection, self.truth_edges)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "truth_syscalls": self.truth_syscalls,
+            "inferred_syscalls": self.inferred_syscalls,
+            "matched_syscalls": self.matched_syscalls,
+            "syscall_coverage": round(self.syscall_coverage, 6),
+            "args_total": self.args_total,
+            "args_matched": self.args_matched,
+            "kind_accuracy": round(self.kind_accuracy, 6),
+            "flag_bits_total": self.flag_bits_total,
+            "flag_bits_recovered": self.flag_bits_recovered,
+            "flag_recall": round(self.flag_recall, 6),
+            "truth_edges": self.truth_edges,
+            "inferred_edges": self.inferred_edges,
+            "edge_intersection": self.edge_intersection,
+            "resource_precision": round(self.resource_precision, 6),
+            "resource_recall": round(self.resource_recall, 6),
+        }
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def resource_edges(table: SyscallTable) -> set[tuple[str, str]]:
+    """(producer, consumer) syscall pairs the table's kinds permit."""
+    edges: set[tuple[str, str]] = set()
+    for consumer in table:
+        for kind in consumer.consumes():
+            for producer in table.producers_of(kind):
+                edges.add((producer.full_name, consumer.full_name))
+    return edges
+
+
+def _flag_leaves(spec: SyscallSpec) -> dict[tuple[int, ...], FlagsType]:
+    from repro.kernel.build import enumerate_type_paths
+
+    return {
+        path: leaf
+        for path, leaf in enumerate_type_paths(spec)
+        if isinstance(leaf, FlagsType)
+    }
+
+
+def _popcount(value: int) -> int:
+    return bin(value).count("1")
+
+
+def diff_tables(
+    inferred: SyscallTable, truth: SyscallTable, version: str = ""
+) -> TableFidelity:
+    """Score ``inferred`` against ``truth`` (see module docstring)."""
+    matched = 0
+    args_total = 0
+    args_matched = 0
+    flag_bits_total = 0
+    flag_bits_recovered = 0
+
+    for truth_spec in truth:
+        inferred_spec: SyscallSpec | None = None
+        if truth_spec.full_name in inferred:
+            inferred_spec = inferred.lookup(truth_spec.full_name)
+            matched += 1
+
+        args_total += truth_spec.arity
+        if inferred_spec is not None:
+            for index, (_, truth_ty) in enumerate(truth_spec.args):
+                if index >= inferred_spec.arity:
+                    continue
+                inferred_ty = inferred_spec.args[index][1]
+                if _kind_class(truth_ty.kind) == _kind_class(inferred_ty.kind):
+                    args_matched += 1
+
+        truth_flags = _flag_leaves(truth_spec)
+        inferred_flags = (
+            _flag_leaves(inferred_spec) if inferred_spec is not None else {}
+        )
+        for path, truth_leaf in truth_flags.items():
+            truth_bits = truth_leaf.all_bits()
+            flag_bits_total += _popcount(truth_bits)
+            inferred_leaf = inferred_flags.get(path)
+            if inferred_leaf is not None:
+                flag_bits_recovered += _popcount(
+                    truth_bits & inferred_leaf.all_bits()
+                )
+
+    truth_edge_set = resource_edges(truth)
+    inferred_edge_set = resource_edges(inferred)
+
+    return TableFidelity(
+        version=version,
+        truth_syscalls=len(truth),
+        inferred_syscalls=len(inferred),
+        matched_syscalls=matched,
+        args_total=args_total,
+        args_matched=args_matched,
+        flag_bits_total=flag_bits_total,
+        flag_bits_recovered=flag_bits_recovered,
+        truth_edges=len(truth_edge_set),
+        inferred_edges=len(inferred_edge_set),
+        edge_intersection=len(truth_edge_set & inferred_edge_set),
+    )
+
+
+def _kind_class(kind: ArgKind) -> str:
+    """Coarse comparison classes; buffer flavours collapse together."""
+    if kind in (ArgKind.BUFFER, ArgKind.STRING, ArgKind.FILENAME):
+        return "buffer"
+    return kind.value
+
+
+def fidelity_json(fidelities: list[TableFidelity], **context) -> str:
+    """Canonical per-release fidelity report (byte-stable)."""
+    payload = {
+        "context": dict(sorted(context.items())),
+        "releases": [fid.to_dict() for fid in fidelities],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -35,6 +35,7 @@ from repro.syzlang.types import (
 
 __all__ = [
     "build_standard_table",
+    "release_deltas",
     "FD",
     "FILE_FD",
     "SOCK",
@@ -45,8 +46,6 @@ __all__ = [
     "ATA_NOP",
     "ATA_PROT_PIO",
 ]
-
-KNOWN_VERSIONS = ("6.8", "6.9", "6.10")
 
 # ----- resource hierarchy -----
 
@@ -376,33 +375,47 @@ def _base_specs() -> list[SyscallSpec]:
     return specs
 
 
-def _v69_specs() -> list[SyscallSpec]:
-    """Interfaces added in synthetic release 6.9: xdp and landlock."""
-    return [
+# ----- release deltas -----
+#
+# The declarative growth table: release N's API surface is the base set
+# plus every delta up to and including N, in order.  Adding a release is
+# one new entry here; KNOWN_VERSIONS and build_standard_table derive
+# from it, so there is exactly one ground-truth path.
+
+RELEASE_DELTAS: tuple[tuple[str, tuple[SyscallSpec, ...]], ...] = (
+    ("6.8", ()),  # the base surface (see _base_specs)
+    ("6.9", (
+        # xdp and landlock
         SyscallSpec("socket", (("domain", ConstType(44)), ("type", _SOCK_TYPE), ("protocol", ConstType(0))), variant="xdp", produces=XDP_SOCK, subsystem="xdp"),
         SyscallSpec("setsockopt", (("sock", ResourceType(XDP_SOCK)), ("level", ConstType(283)), ("optname", ConstType(4)), ("umem", PtrType(_XDP_UMEM_REG)), ("optlen", IntType(bits=32, minimum=0, maximum=64, interesting=(24, 32)))), variant="XDP_UMEM_REG", subsystem="xdp"),
         SyscallSpec("landlock_create_ruleset", (("attr", PtrType(_LANDLOCK_RULESET_ATTR)), ("size", IntType(bits=32, minimum=0, maximum=32, interesting=(8, 16))), ("flags", IntType(bits=32, minimum=0, maximum=4, interesting=(0, 1)))), produces=RULESET_FD, subsystem="landlock"),
         SyscallSpec("landlock_restrict_self", (("ruleset", ResourceType(RULESET_FD)), ("flags", IntType(bits=32, minimum=0, maximum=4))), subsystem="landlock"),
-    ]
-
-
-def _v610_specs() -> list[SyscallSpec]:
-    """Interfaces added in synthetic release 6.10: rxrpc."""
-    return [
+    )),
+    ("6.10", (
+        # rxrpc
         SyscallSpec("socket", (("domain", ConstType(33)), ("type", ConstType(2)), ("protocol", IntType(bits=32, minimum=0, maximum=8, interesting=(0,)))), variant="rxrpc", produces=RXRPC_SOCK, subsystem="rxrpc"),
         SyscallSpec("sendmsg", (("sock", ResourceType(RXRPC_SOCK)), ("call", PtrType(_RXRPC_CALL)), ("data", PtrType(BufferType(max_len=128))), ("len", LenType(path="data", bits=64)), ("flags", _MSG_FLAGS)), variant="rxrpc", subsystem="rxrpc"),
-    ]
+    )),
+)
+
+KNOWN_VERSIONS: tuple[str, ...] = tuple(
+    version for version, _ in RELEASE_DELTAS
+)
 
 
-def build_standard_table(version: str = "6.8") -> SyscallTable:
-    """The syscall table for a synthetic kernel release."""
+def release_deltas(version: str) -> tuple[tuple[str, tuple[SyscallSpec, ...]], ...]:
+    """The ``(release, new specs)`` entries folded into ``version``."""
     if version not in KNOWN_VERSIONS:
         raise SpecError(
             f"unknown kernel version {version!r}; known: {KNOWN_VERSIONS}"
         )
+    index = KNOWN_VERSIONS.index(version)
+    return RELEASE_DELTAS[: index + 1]
+
+
+def build_standard_table(version: str = "6.8") -> SyscallTable:
+    """The syscall table for a synthetic kernel release."""
     specs = _base_specs()
-    if version in ("6.9", "6.10"):
-        specs.extend(_v69_specs())
-    if version == "6.10":
-        specs.extend(_v610_specs())
+    for _, delta in release_deltas(version):
+        specs.extend(delta)
     return SyscallTable(specs)

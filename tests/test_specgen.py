@@ -1,0 +1,323 @@
+"""repro.specgen: inference, emission round-trips, fidelity, campaign."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analyze import (
+    registered_checks,
+    run_kernel_checks,
+    strict_failures,
+    table_mismatch_findings,
+)
+from repro.kernel import build_kernel
+from repro.rng import make_rng
+from repro.specgen import (
+    diff_tables,
+    fidelity_json,
+    infer_specs,
+    infer_table,
+    kernel_with_table,
+    parse_table,
+    resource_edges,
+    run_specgen_campaign,
+    serialize_table,
+)
+from repro.syzlang import (
+    ProgramGenerator,
+    build_standard_table,
+    parse_program,
+    serialize_program,
+)
+from repro.syzlang.stdlib import KNOWN_VERSIONS, release_deltas
+from repro.syzlang.types import FlagsType, ResourceType
+
+
+@pytest.fixture(scope="module")
+def tiny_kernels():
+    return {
+        version: build_kernel(version, seed=1, size="tiny")
+        for version in KNOWN_VERSIONS
+    }
+
+
+@pytest.fixture(scope="module")
+def inferred(tiny_kernels):
+    return {
+        version: infer_specs(kernel)
+        for version, kernel in tiny_kernels.items()
+    }
+
+
+class TestInference:
+    def test_covers_every_handler(self, tiny_kernels, inferred):
+        for version, kernel in tiny_kernels.items():
+            table, report = inferred[version]
+            assert {spec.full_name for spec in table} == set(kernel.handlers)
+            assert report.syscalls == len(kernel.handlers)
+
+    def test_consumers_are_wireable(self, inferred):
+        """Every consumed resource kind has at least one producer, so
+        the generator can always wire references."""
+        for version, (table, _) in inferred.items():
+            for spec in table:
+                for kind in spec.consumes():
+                    assert table.producers_of(kind), (
+                        f"{version}: no producer for {kind.name} "
+                        f"consumed by {spec.full_name}"
+                    )
+
+    def test_guards_become_resource_args(self, tiny_kernels, inferred):
+        """Each fd-guard block maps to a leading ResourceType argument."""
+        for version, kernel in tiny_kernels.items():
+            table, _ = inferred[version]
+            for block in kernel.blocks.values():
+                if not block.label.endswith(":fdget"):
+                    continue
+                name = block.label.rsplit(":", 1)[0]
+                condition = block.condition
+                spec = table.lookup(name)
+                index = condition.path_elements[0]
+                assert isinstance(spec.args[index][1], ResourceType)
+
+    def test_report_gauges(self, tiny_kernels):
+        from repro.observe import Observer
+
+        observer = Observer()
+        _, report = infer_specs(tiny_kernels["6.8"], observer=observer)
+        snapshot = observer.registry.snapshot()
+        assert snapshot["gauges"]["specgen.syscalls"] == report.syscalls
+        assert snapshot["gauges"]["specgen.flag_bits"] == report.flag_bits
+
+
+class TestEmitRoundTrip:
+    def test_inferred_tables_round_trip(self, inferred):
+        for version, (table, _) in inferred.items():
+            text = serialize_table(table, comment=f"kernel {version}")
+            assert parse_table(text) == table
+
+    def test_truth_tables_round_trip(self):
+        for version in KNOWN_VERSIONS:
+            table = build_standard_table(version)
+            assert parse_table(serialize_table(table)) == table
+
+    def test_serialization_is_stable(self, inferred):
+        table, _ = inferred["6.8"]
+        assert serialize_table(table) == serialize_table(table)
+        assert serialize_table(parse_table(serialize_table(table))) == \
+            serialize_table(table)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(0, 50_000))
+    def test_programs_under_inferred_table(self, inferred, seed):
+        """Property: programs generated from the inferred table are
+        valid under it and round-trip through the syz program format."""
+        table, _ = inferred["6.8"]
+        program = ProgramGenerator(table, make_rng(seed)).random_program()
+        program.validate(table)
+        text = serialize_program(program)
+        again = parse_program(text, table)
+        assert serialize_program(again) == text
+
+
+class TestDiff:
+    def test_self_diff_is_perfect(self):
+        truth = build_standard_table("6.8")
+        fidelity = diff_tables(truth, truth, version="6.8")
+        assert fidelity.syscall_coverage == 1.0
+        assert fidelity.kind_accuracy == 1.0
+        assert fidelity.flag_recall == 1.0
+        assert fidelity.resource_precision == 1.0
+        assert fidelity.resource_recall == 1.0
+
+    def test_fidelity_floors_on_tiny(self, inferred):
+        for version, (table, _) in inferred.items():
+            fidelity = diff_tables(
+                table, build_standard_table(version), version=version
+            )
+            assert fidelity.syscall_coverage == 1.0
+            assert fidelity.kind_accuracy >= 0.7
+            assert fidelity.flag_recall >= 0.2
+            assert fidelity.resource_precision >= 0.6
+            assert fidelity.resource_recall >= 0.4
+
+    def test_deterministic_report(self, tiny_kernels):
+        kernel = tiny_kernels["6.8"]
+        truth = build_standard_table("6.8")
+        first = diff_tables(infer_table(kernel), truth, version="6.8")
+        second = diff_tables(infer_table(kernel), truth, version="6.8")
+        assert first == second
+        assert fidelity_json([first], size="tiny") == \
+            fidelity_json([second], size="tiny")
+
+    def test_resource_edges_shape(self):
+        truth = build_standard_table("6.8")
+        edges = resource_edges(truth)
+        assert ("open", "read") in edges
+        assert all(
+            producer in truth and consumer in truth
+            for producer, consumer in edges
+        )
+
+
+class TestSpecTableLint:
+    def test_check_registered(self):
+        names = {check.name for check in registered_checks("kernel")}
+        assert "spec-table-mismatch" in names
+
+    def test_stock_kernel_no_errors(self, tiny_kernels):
+        findings = run_kernel_checks(tiny_kernels["6.8"])
+        mismatch = [f for f in findings if f.check == "spec-table-mismatch"]
+        assert mismatch, "stdlib declares more bits than the kernel uses"
+        assert not strict_failures(mismatch)
+
+    def test_inferred_table_is_clean(self, tiny_kernels, inferred):
+        for version, kernel in tiny_kernels.items():
+            table, _ = inferred[version]
+            assert table_mismatch_findings(kernel, table) == []
+
+    def test_narrowed_domain_fails(self, tiny_kernels, inferred):
+        from dataclasses import replace
+
+        from repro.syzlang.spec import SyscallTable
+
+        def narrow(ty):
+            if isinstance(ty, FlagsType) and len(ty.flags) > 1:
+                return FlagsType(flags=ty.flags[:1], bits=ty.bits)
+            if hasattr(ty, "elem"):
+                return replace(ty, elem=narrow(ty.elem))
+            if hasattr(ty, "fields"):
+                return replace(ty, fields=tuple(
+                    (name, narrow(field)) for name, field in ty.fields
+                ))
+            return ty
+
+        table, _ = inferred["6.8"]
+        mutated = SyscallTable([
+            replace(spec, args=tuple(
+                (name, narrow(ty)) for name, ty in spec.args
+            ))
+            for spec in table
+        ])
+        findings = table_mismatch_findings(tiny_kernels["6.8"], mutated)
+        assert strict_failures(findings)
+
+    def test_namespace_prefix(self, tiny_kernels, inferred):
+        table, _ = inferred["6.8"]
+        findings = table_mismatch_findings(
+            tiny_kernels["6.8"], build_standard_table("6.8"),
+            namespace="6.8/",
+        )
+        assert findings
+        assert all(f.location.startswith("6.8/") for f in findings)
+
+
+class TestStdlibDeltas:
+    def test_known_versions_derive_from_deltas(self):
+        assert KNOWN_VERSIONS == tuple(v for v, _ in release_deltas("6.10"))
+
+    def test_deltas_are_cumulative(self):
+        base = {spec.full_name for spec in build_standard_table("6.8")}
+        mid = {spec.full_name for spec in build_standard_table("6.9")}
+        top = {spec.full_name for spec in build_standard_table("6.10")}
+        assert base < mid < top
+        assert mid - base == {
+            "socket$xdp", "setsockopt$XDP_UMEM_REG",
+            "landlock_create_ruleset", "landlock_restrict_self",
+        }
+        assert top - mid == {"socket$rxrpc", "sendmsg$rxrpc"}
+
+
+class TestCampaign:
+    def test_kernel_view_swaps_only_table(self, tiny_kernels, inferred):
+        kernel = tiny_kernels["6.8"]
+        table, _ = inferred["6.8"]
+        view = kernel_with_table(kernel, table)
+        assert view.table is table
+        assert view.blocks is kernel.blocks
+        assert view.handlers is kernel.handlers
+        assert view.succs is kernel.succs
+
+    def test_coverage_ratio_meets_floor(self):
+        result = run_specgen_campaign(
+            versions=("6.8",), seed=0, kernel_seed=1, size="tiny",
+            hours=0.3, seed_corpus=10,
+        )
+        run = result.run_for("6.8")
+        assert run.truth_edges > 0
+        assert run.coverage_ratio >= 0.7
+
+    def test_campaign_is_deterministic(self):
+        kwargs = dict(
+            versions=("6.8",), seed=3, kernel_seed=1, size="tiny",
+            hours=0.2, seed_corpus=8,
+        )
+        first = run_specgen_campaign(**kwargs)
+        second = run_specgen_campaign(**kwargs)
+        assert first.to_dict() == second.to_dict()
+        assert first.to_json() == second.to_json()
+
+
+class TestSpecgenCLI:
+    def test_infer_lint_strict(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "specgen", "infer", "--releases", "6.8", "--size", "tiny",
+            "--out", str(tmp_path), "--lint", "--strict",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inferred" in out
+        assert (tmp_path / "specs_6_8.syz").exists()
+        table = parse_table((tmp_path / "specs_6_8.syz").read_text())
+        assert len(table) == 47
+
+    def test_diff_strict_passes_floors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "fidelity.json"
+        code = main([
+            "specgen", "diff", "--releases", "6.8,6.9,6.10",
+            "--size", "tiny", "--strict", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+
+    def test_diff_strict_fails_impossible_floor(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "specgen", "diff", "--releases", "6.8", "--size", "tiny",
+            "--strict", "--min-flag-recall", "0.99",
+        ])
+        assert code == 1
+
+    def test_campaign_table_output(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "specgen", "campaign", "--releases", "6.8", "--size", "tiny",
+            "--hours", "0.2", "--seed-corpus", "8", "--strict",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Spec inference evaluation" in out
+
+
+class TestReporting:
+    def test_format_specgen_lists_each_release(self):
+        from repro.snowplow import format_specgen, specgen_json
+
+        result = run_specgen_campaign(
+            versions=("6.8",), seed=0, kernel_seed=1, size="tiny",
+            hours=0.2, seed_corpus=8,
+        )
+        text = format_specgen(result)
+        assert "6.8" in text
+        assert "Ratio" in text
+        payload = specgen_json(result)
+        assert '"coverage_ratio"' in payload
