@@ -12,6 +12,9 @@ Subcommands mirror the Snowplow workflow::
     python -m repro.cli exec --kernel 6.8 --prog test.syz
     python -m repro.cli fuzz --kernel 6.8 --oracle --observe-dir out/
     python -m repro.cli observe render out/spans.jsonl --chrome trace.json
+    python -m repro.cli observe render out/spans.jsonl --lineage
+    python -m repro.cli observe explain bugs --dir out/
+    python -m repro.cli observe explain edge:12-83 --dir out/
     python -m repro.cli observe diff old/metrics.json new/metrics.json
     python -m repro.cli observe check out/metrics.json --require fuzz.executions
     python -m repro.cli observe check out/metrics.json --slo default
@@ -33,15 +36,23 @@ from repro.observe import (
     Observer,
     SLOEngine,
     alerts_json,
+    attribution_table,
     campaign_report,
     chrome_trace,
+    coverage_waterfall,
     diff_snapshots,
     flag_regressions,
     flame_summary,
+    format_attribution,
+    format_chain,
     format_diff,
+    format_waterfall,
+    lineage_dot,
+    load_lineage,
     load_spans_jsonl,
     load_timeseries,
     model_quality_summary,
+    resolve_target,
 )
 from repro.observe.slo import DEFAULT_PACKS
 from repro.pmm import DatasetConfig, PMMConfig, TrainConfig
@@ -453,8 +464,52 @@ def _cmd_observe_render(args) -> int:
         Path(args.chrome).write_text(chrome_trace(tracer))
         print(f"chrome trace written to {args.chrome} "
               f"(load it in https://ui.perfetto.dev or chrome://tracing)")
+    if args.lineage:
+        lineage_path = Path(args.spans).parent / Observer.LINEAGE_FILE
+        if not lineage_path.exists():
+            print(f"no lineage at {lineage_path} "
+                  f"(campaign exported without provenance?)",
+                  file=sys.stderr)
+            return 2
+        log = load_lineage(lineage_path.read_text())
+        dot_path = lineage_path.with_suffix(".dot")
+        dot_path.write_text(lineage_dot(log))
+        print(f"lineage DAG written to {dot_path} "
+              f"({len(log.records)} entries, render with `dot -Tsvg`)")
     print(flame_summary(tracer), end="")
     return 0
+
+
+def _cmd_observe_explain(args) -> int:
+    directory = Path(args.dir)
+    path = directory / Observer.LINEAGE_FILE
+    if not path.exists():
+        print(f"no lineage at {path} (run the campaign with "
+              f"--observe-dir to export it)", file=sys.stderr)
+        return 2
+    log = load_lineage(path.read_text())
+    if args.table:
+        Path(args.table).write_text(json.dumps(
+            attribution_table(log), sort_keys=True, separators=(",", ":"),
+        ) + "\n")
+    if args.target == "bugs":
+        empty = 0
+        for signature in sorted(log.bug_owner):
+            kind, resolved, chain = resolve_target(log, f"bug:{signature}")
+            print(format_chain(kind, resolved, chain), end="")
+            if not chain:
+                empty += 1
+        print(f"{len(log.bug_owner)} bug(s), {empty} with empty chains")
+        print(format_attribution(attribution_table(log)), end="")
+        print(format_waterfall(coverage_waterfall(log)), end="")
+        return 1 if empty else 0
+    try:
+        kind, resolved, chain = resolve_target(log, args.target)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 1
+    print(format_chain(kind, resolved, chain), end="")
+    return 0 if chain else 1
 
 
 def _cmd_observe_diff(args) -> int:
@@ -1019,7 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_state_dir(q):
         q.add_argument("--state-dir", required=True,
                        help="directory holding the service checkpoint "
-                            "(service.json, format v6)")
+                            "(service.json, format v7)")
         q.add_argument("--json", action="store_true",
                        help="print the raw API response as JSON")
 
@@ -1097,7 +1152,24 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("spans", help="spans.jsonl produced by --observe-dir")
     q.add_argument("--chrome", default=None,
                    help="also write a Chrome/Perfetto trace_event file here")
+    q.add_argument("--lineage", action="store_true",
+                   help="also render the lineage DAG (lineage.dot next "
+                        "to the export's lineage.json)")
     q.set_defaults(func=_cmd_observe_render)
+    q = observe_sub.add_parser(
+        "explain",
+        help="trace a bug/edge/entry back through its mutation lineage",
+    )
+    q.add_argument("target",
+                   help="'bugs' (every bug, exit 1 on any empty chain), "
+                        "bug:<sig>, edge:<src>-<dst>, entry:<id>, or a "
+                        "bare id tried as bug, then entry, then edge")
+    q.add_argument("--dir", required=True,
+                   help="--observe-dir export holding lineage.json")
+    q.add_argument("--table", default=None,
+                   help="also write the per-engine attribution table "
+                        "here as canonical JSON")
+    q.set_defaults(func=_cmd_observe_explain)
     q = observe_sub.add_parser(
         "diff", help="diff two campaigns' metrics.json snapshots"
     )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.fuzzer.loop import FuzzObservation
 from repro.kernel.coverage import Coverage
 from repro.observe import MetricsRegistry
+from repro.observe.provenance import UNION, LineageRecord, ProvenanceLog
 from repro.syzlang.parser import parse_program, serialize_program
 from repro.syzlang.program import Program
 
@@ -43,6 +44,9 @@ class HubEntry:
     origin: int
     # Hub epoch at acceptance; pulls are incremental on this.
     epoch: int
+    # Lineage record carried from the uploading worker (None when the
+    # uploader tracked no lineage).
+    lineage: LineageRecord | None = None
 
 
 # Every HubStats counter: a ``hub.<name>`` registry series.  The first
@@ -53,6 +57,10 @@ _HUB_COUNTERS = (
     "pushes", "accepted", "duplicates", "pulls", "pulled_entries",
     "sync_failures", "dropped_entries", "bloom_skips",
     "lost_entries", "failovers", "reconciled",
+    # Entries dropped with their lineage booked (``superseded_by``)
+    # instead of silently discarded: push-dedup collisions and
+    # rediscovered failover-backlog entries.
+    "subsumed_entries",
 )
 
 
@@ -121,6 +129,32 @@ class CorpusHub:
         # Fleet-union coverage growth, stamped at push time.
         self.timeline: list[FuzzObservation] = []
         self._signatures: set[frozenset] = set()
+        # The hub's own lineage ledger: every offered record is kept
+        # (accepted or subsumed), so fleet-level explain queries resolve
+        # entries a worker found but the hub deduped away.
+        self.provenance = ProvenanceLog()
+        # signature -> entry id that owns it, for naming the superseder
+        # when a later offer collides.
+        self._signature_owner: dict[frozenset, str] = {}
+
+    def _subsume(self, lineage, signature: frozenset) -> None:
+        """Book a dedup drop against the dropped entry's lineage.
+
+        A re-offer of the *same* content (a worker pushing back what it
+        pulled, replication echo) is a plain duplicate, not a
+        subsumption; only a genuinely different entry losing to the
+        signature owner (or to the hub's coverage union) is booked.
+        """
+        if lineage is None:
+            return
+        owner = self._signature_owner.get(signature)
+        if owner == lineage.entry_id:
+            return
+        self.stats.subsumed_entries += 1
+        self.provenance.record(lineage)
+        self.provenance.supersede(
+            lineage.entry_id, owner if owner is not None else UNION
+        )
 
     # ----- the sync protocol -----
 
@@ -136,12 +170,17 @@ class CorpusHub:
         for entry in entries:
             self.stats.pushes += 1
             signature = frozenset(entry.coverage.edges)
+            lineage = getattr(entry, "lineage", None)
             if (
                 signature in self._signatures
                 or not entry.coverage.new_edges(self.coverage)
             ):
                 self.stats.duplicates += 1
+                self._subsume(lineage, signature)
                 continue
+            if lineage is not None:
+                lineage = self.provenance.record(lineage)
+                self._signature_owner[signature] = lineage.entry_id
             self._signatures.add(signature)
             self.epoch += 1
             self.entries.append(
@@ -152,6 +191,7 @@ class CorpusHub:
                     hints=frozenset(entry.hints),
                     origin=worker_id,
                     epoch=self.epoch,
+                    lineage=lineage,
                 )
             )
             self.coverage.merge(entry.coverage)
@@ -198,6 +238,10 @@ class CorpusHub:
                     "hints": sorted(entry.hints),
                     "origin": entry.origin,
                     "epoch": entry.epoch,
+                    "lineage": (
+                        entry.lineage.to_dict()
+                        if entry.lineage is not None else None
+                    ),
                 }
                 for entry in self.entries
             ],
@@ -206,6 +250,7 @@ class CorpusHub:
                 for obs in self.timeline
             ],
             "stats": self.stats.counter_values(),
+            "provenance": self.provenance.state_dict(),
         }
 
     def restore(self, state: dict, table) -> None:
@@ -214,9 +259,23 @@ class CorpusHub:
         self.entries.clear()
         self.coverage = Coverage()
         self._signatures.clear()
+        self._signature_owner.clear()
         self.epoch = int(state["epoch"])
+        self.provenance.restore(
+            state.get("provenance", ProvenanceLog().state_dict())
+        )
         for entry_state in state["entries"]:
             coverage = Coverage.from_traces(entry_state["traces"])
+            lineage_state = entry_state.get("lineage")
+            lineage = None
+            if lineage_state is not None:
+                # Point at the ledger's copy so the record identity the
+                # live hub had (entry and ledger sharing one object)
+                # survives the round-trip.
+                lineage = self.provenance.record(
+                    LineageRecord.from_dict(lineage_state)
+                )
+            signature = frozenset(coverage.edges)
             self.entries.append(
                 HubEntry(
                     program=parse_program(entry_state["program"], table),
@@ -225,9 +284,12 @@ class CorpusHub:
                     hints=frozenset(entry_state["hints"]),
                     origin=int(entry_state["origin"]),
                     epoch=int(entry_state["epoch"]),
+                    lineage=lineage,
                 )
             )
-            self._signatures.add(frozenset(coverage.edges))
+            self._signatures.add(signature)
+            if lineage is not None:
+                self._signature_owner[signature] = lineage.entry_id
             self.coverage.merge(coverage)
         self.timeline = [
             FuzzObservation(

@@ -179,22 +179,29 @@ class ClusterWorker:
             self._sync_partitioned(start)
             return
         self._sync_failures = 0
-        fresh = loop.corpus.entries[self._synced_entries:]
-        accepted = self.hub.push(self.worker_id, fresh, loop.clock.now)
-        pulled, self.sync_epoch = self.hub.pull(
-            self.worker_id, self.sync_epoch
-        )
-        for entry in pulled:
-            loop.accumulated.merge(entry.coverage)
-            loop.corpus.add(
-                entry.program, entry.coverage,
-                signal=entry.signal, hints=entry.hints,
+        with loop._section("loop.hub_sync"):
+            fresh = loop.corpus.entries[self._synced_entries:]
+            accepted = self.hub.push(self.worker_id, fresh, loop.clock.now)
+            pulled, self.sync_epoch = self.hub.pull(
+                self.worker_id, self.sync_epoch
             )
-        self._synced_entries = len(loop.corpus.entries)
-        loop.stats.hub_syncs += 1
-        loop.stats.hub_pushed += accepted
-        loop.stats.hub_pulled += len(pulled)
-        loop.clock.advance(self.sync_cost, "hub_sync")
+            for entry in pulled:
+                loop.accumulated.merge(entry.coverage)
+                # Pulled lineage lands in the local ledger too, so this
+                # worker's descendants of a foreign entry chain through
+                # it without waiting for the fleet-level merge.
+                if entry.lineage is not None:
+                    loop.provenance.record(entry.lineage)
+                loop.corpus.add(
+                    entry.program, entry.coverage,
+                    signal=entry.signal, hints=entry.hints,
+                    lineage=entry.lineage,
+                )
+            self._synced_entries = len(loop.corpus.entries)
+            loop.stats.hub_syncs += 1
+            loop.stats.hub_pushed += accepted
+            loop.stats.hub_pulled += len(pulled)
+            loop.clock.advance(self.sync_cost, "hub_sync")
         if loop.observer is not None:
             # Fleet-union coverage as a gauge: the scaling claim is a
             # trajectory, so the time-series needs it, not just the
@@ -226,7 +233,8 @@ class ClusterWorker:
         loop = self.loop
         self._sync_failures += 1
         self.hub.stats.sync_failures += 1
-        loop.clock.advance(self.sync_cost, "hub_sync")
+        with loop._section("loop.hub_sync"):
+            loop.clock.advance(self.sync_cost, "hub_sync")
         if self._sync_failures > self.max_sync_retries:
             fresh = list(
                 range(self._synced_entries, len(loop.corpus.entries))
@@ -375,6 +383,11 @@ class ClusterFuzzer:
         self.observer = observer
         self.supervisor = supervisor
         self.scheduler = ClusterScheduler(self.workers)
+        if observer is not None:
+            # The hub's ledger joins the workers' (the loops attach
+            # themselves) so the exported lineage.json resolves entries
+            # the hub holds that their finder deduped away locally.
+            observer.attach_provenance(hub.provenance)
 
     def run_until(self, time: float) -> None:
         self.scheduler.run_until(time, supervisor=self.supervisor)

@@ -38,6 +38,7 @@ from repro.errors import CheckpointError
 from repro.fuzzer.loop import FuzzObservation
 from repro.kernel.coverage import Coverage
 from repro.observe import MetricsRegistry
+from repro.observe.provenance import UNION, LineageRecord
 from repro.syzlang.parser import parse_program, serialize_program
 
 from .hub import CorpusHub, HubEntry
@@ -141,6 +142,7 @@ class ShardedHub(CorpusHub):
         for entry in entries:
             self.stats.pushes += 1
             signature = frozenset(entry.coverage.edges)
+            lineage = getattr(entry, "lineage", None)
             digest = signature_digest(signature)
             shard = digest * self.shards >> 64
             if not self._blooms[shard].might_contain(digest):
@@ -151,7 +153,10 @@ class ShardedHub(CorpusHub):
                 seen = signature in self._shard_signatures[shard]
             if seen or not entry.coverage.new_edges(self.coverage):
                 self.stats.duplicates += 1
+                self._subsume(lineage, signature)
                 continue
+            if lineage is not None:
+                lineage = self.provenance.record(lineage)
             self._admit(
                 HubEntry(
                     program=entry.program.clone(),
@@ -160,6 +165,7 @@ class ShardedHub(CorpusHub):
                     hints=frozenset(entry.hints),
                     origin=worker_id,
                     epoch=0,
+                    lineage=lineage,
                 ),
                 shard,
                 signature,
@@ -182,6 +188,8 @@ class ShardedHub(CorpusHub):
         entry.epoch = self.epoch
         self.entries.append(entry)
         self._signatures.add(signature)
+        if entry.lineage is not None:
+            self._signature_owner[signature] = entry.lineage.entry_id
         self._shard_signatures[shard].add(signature)
         self._blooms[shard].add(digest)
         self._entry_shard[entry.epoch] = shard
@@ -227,6 +235,7 @@ class ShardedHub(CorpusHub):
             for entry in lost:
                 signature = frozenset(entry.coverage.edges)
                 self._signatures.discard(signature)
+                self._signature_owner.pop(signature, None)
                 self._shard_signatures[shard].discard(signature)
                 del self._entry_shard[entry.epoch]
             self._rebuild_bloom(shard)
@@ -254,6 +263,17 @@ class ShardedHub(CorpusHub):
                 signature in self._shard_signatures[shard]
                 or not entry.coverage.new_edges(self.coverage)
             ):
+                # Rediscovered during the outage: the backlog entry is
+                # subsumed, not silently gone.  (Not a push, so only the
+                # subsumption is booked — no pushes/duplicates bump.)
+                self.stats.subsumed_entries += 1
+                if entry.lineage is not None:
+                    owner = self._signature_owner.get(signature)
+                    self.provenance.record(entry.lineage)
+                    self.provenance.supersede(
+                        entry.lineage.entry_id,
+                        owner if owner is not None else UNION,
+                    )
                 continue
             self._admit(
                 entry, shard, signature, signature_digest(signature), now
@@ -299,6 +319,10 @@ class ShardedHub(CorpusHub):
                     "hints": sorted(entry.hints),
                     "origin": entry.origin,
                     "epoch": entry.epoch,
+                    "lineage": (
+                        entry.lineage.to_dict()
+                        if entry.lineage is not None else None
+                    ),
                 }
                 for entry in tail
             ]
@@ -335,6 +359,12 @@ class ShardedHub(CorpusHub):
                     hints=frozenset(entry_state["hints"]),
                     origin=int(entry_state["origin"]),
                     epoch=int(entry_state["epoch"]),
+                    lineage=(
+                        self.provenance.record(
+                            LineageRecord.from_dict(entry_state["lineage"])
+                        )
+                        if entry_state.get("lineage") is not None else None
+                    ),
                 )
                 for entry_state in tail
             ]

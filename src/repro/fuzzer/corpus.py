@@ -26,6 +26,10 @@ class CorpusEntry:
     # Comparison operands observed when this test executed (KCOV_CMP
     # feedback), fed to the instantiator's hint strategy.
     hints: frozenset[int] = frozenset()
+    # Provenance record stamped at mutation time (a
+    # repro.observe.provenance.LineageRecord); None when lineage
+    # tracking is off for this loop.
+    lineage: "object | None" = None
 
 
 @dataclass
@@ -48,11 +52,12 @@ class Corpus:
         coverage: Coverage,
         signal: int,
         hints: frozenset[int] = frozenset(),
+        lineage=None,
     ) -> CorpusEntry:
         """Admit a (cloned) test with its coverage and KCOV_CMP hints."""
         entry = CorpusEntry(
             program=program.clone(), coverage=coverage.copy(),
-            signal=signal, hints=hints,
+            signal=signal, hints=hints, lineage=lineage,
         )
         self.entries.append(entry)
         return entry

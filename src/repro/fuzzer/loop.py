@@ -9,6 +9,7 @@ argument localization through asynchronous PMM inference.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,6 +23,12 @@ from repro.kernel.build import Kernel
 from repro.kernel.coverage import Coverage
 from repro.kernel.executor import Executor
 from repro.observe import LabeledCounterMap, MetricsRegistry, Observer
+from repro.observe.provenance import (
+    SEED_ENGINE,
+    LineageRecord,
+    ProvenanceLog,
+    entry_id_for,
+)
 from repro.syzlang.program import Program
 from repro.vclock import CostModel, VirtualClock
 
@@ -333,8 +340,15 @@ class FuzzLoop:
         self.worker = worker
         self.track = f"worker{worker}"
         self.tracer = observer.tracer if observer is not None else None
+        self.profiler = observer.profiler if observer is not None else None
         if observer is not None and executor.profiler is None:
             executor.profiler = observer.profiler
+        # The lineage ledger: always kept (it is pure bookkeeping over
+        # work the loop does anyway), exported when an observer rides
+        # along, checkpointed with the loop state.
+        self.provenance = ProvenanceLog()
+        if observer is not None:
+            observer.attach_provenance(self.provenance)
         self.stats = FuzzStats(
             registry=observer.registry if observer is not None else None,
             labels={"worker": worker} if observer is not None else None,
@@ -353,9 +367,18 @@ class FuzzLoop:
                 continue
             new_edges = result.coverage.new_edges(self.accumulated)
             self.accumulated.merge(result.coverage)
+            record = LineageRecord(
+                entry_id=entry_id_for(program, result.coverage),
+                parent_id=None, engine=SEED_ENGINE, operator="seed",
+                slot="-", burst_id=None, predicted=0,
+                gain=len(new_edges), time=self.clock.now,
+                worker=self.worker,
+            )
+            self.provenance.admit(record, new_edges)
             self._admit(
                 program, result.coverage, signal=len(new_edges),
                 hints=frozenset(result.comparison_operands),
+                lineage=record,
             )
 
     # ----- the loop -----
@@ -382,12 +405,32 @@ class FuzzLoop:
         self._sample(force=True)
         self.stats.corpus_size = len(self.corpus)
         if self.observer is not None:
+            registry = self.observer.registry
+            total = self.clock.now
             # Publish the clock's per-label charges as gauges — the
-            # virtual-time breakdown behind the flame summary.
+            # virtual-time breakdown behind the flame summary — plus
+            # each phase's share of the campaign, so `observe diff` can
+            # compare phase profiles across runs.
             for label, seconds in sorted(self.clock.charges.items()):
-                self.observer.registry.gauge(
+                registry.gauge(
                     f"time.{label}", **self.stats.labels
                 ).set(seconds)
+                if total > 0:
+                    registry.gauge(
+                        f"time.share.{label}", **self.stats.labels
+                    ).set(round(seconds / total, 6))
+            if total > 0:
+                # The vectorization baseline: simulated executions per
+                # virtual second (direction-tagged lower-is-worse in
+                # `flag_regressions`).
+                registry.gauge(
+                    "fuzz.execs_per_vsecond", **self.stats.labels
+                ).set(round(self.stats.executions / total, 6))
+            # Continuous-sampling profile (loop.mutate/exec/triage/
+            # hub_sync + executor/localizer sections).  Diagnostic: the
+            # profiler is not checkpointed, so a resumed run would
+            # otherwise export different canonical metrics.
+            self.observer.profiler.publish(registry, diagnostic=True)
         return self.stats
 
     def _iterate(self) -> None:
@@ -395,7 +438,8 @@ class FuzzLoop:
         self._sample()
         entry = self.corpus.choose(self.rng)
         start = self.clock.now
-        outcome = self.propose_mutation(entry)
+        with self._section("loop.mutate"):
+            outcome = self.propose_mutation(entry)
         if outcome is not None:
             self._run_candidate(entry, outcome)
         if self.tracer is not None:
@@ -429,20 +473,66 @@ class FuzzLoop:
 
     # ----- internals -----
 
+    def _section(self, name: str):
+        """Profiler section for continuous per-phase sampling (no-op
+        without an observer)."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.section(name, self.clock)
+
+    def _mutation_meta(self) -> tuple[str, str, str | None, int]:
+        """``(engine, slot, burst_id, predicted)`` for the mutation the
+        loop just proposed.  SnowplowLoop overrides this to report the
+        PMM/oracle slot and burst metadata when a burst steered it."""
+        return "syzkaller", "heuristic", None, 0
+
+    def _stamp(
+        self,
+        entry: CorpusEntry,
+        outcome: MutationOutcome,
+        coverage: Coverage,
+        meta: tuple[str, str, str | None, int],
+    ) -> LineageRecord:
+        engine, slot, burst_id, predicted = meta
+        return LineageRecord(
+            entry_id=entry_id_for(outcome.program, coverage),
+            parent_id=(
+                entry.lineage.entry_id if entry.lineage is not None else None
+            ),
+            engine=engine,
+            operator=outcome.mutation_type.value,
+            slot=slot,
+            burst_id=burst_id,
+            predicted=predicted,
+            gain=0,
+            time=self.clock.now,
+            worker=self.worker,
+        )
+
     def _run_candidate(self, entry: CorpusEntry, outcome: MutationOutcome) -> None:
         type_name = outcome.mutation_type.value
         self.stats.mutations[type_name] = (
             self.stats.mutations.get(type_name, 0) + 1
         )
+        meta = self._mutation_meta()
+        self.provenance.note_mutation(meta[0], meta[1])
         result = self._execute(outcome.program)
         if result is None:
             return
+        record: LineageRecord | None = None
         if result.crash is not None:
             crash = self.triage.observe(outcome.program, result.crash)
             if crash is not None:
-                triage_start = self.clock.now
-                self.clock.advance(self.cost.triage, "triage")
-                self.stats.crashes.append(crash)
+                with self._section("loop.triage"):
+                    triage_start = self.clock.now
+                    self.clock.advance(self.cost.triage, "triage")
+                    self.stats.crashes.append(crash)
+                # Crashing programs get a lineage record even when they
+                # are not admitted to the corpus: `observe explain
+                # bug:<sig>` must always find a chain.
+                record = self._stamp(entry, outcome, result.coverage, meta)
+                record = self.provenance.record(record)
+                self.provenance.note_crash(crash.signature, record.entry_id)
                 if self.tracer is not None:
                     self.tracer.record(
                         self.track, "triage", triage_start, self.clock.now,
@@ -454,10 +544,15 @@ class FuzzLoop:
                     )
         new_edges = result.coverage.new_edges(self.accumulated)
         if new_edges:
+            if record is None:
+                record = self._stamp(entry, outcome, result.coverage, meta)
+            record.gain = len(new_edges)
             self.accumulated.merge(result.coverage)
+            self.provenance.admit(record, new_edges)
             self._admit(
                 outcome.program, result.coverage, signal=len(new_edges),
                 hints=frozenset(result.comparison_operands),
+                lineage=record,
             )
             self.on_new_coverage(entry, outcome, result.coverage)
 
@@ -470,6 +565,7 @@ class FuzzLoop:
         coverage: Coverage,
         signal: int,
         hints: frozenset[int],
+        lineage: LineageRecord | None = None,
     ) -> CorpusEntry:
         """Write a new entry to the corpus store, riding out transient
         failures (a flaky disk/DB write under fault injection).  Each
@@ -483,25 +579,29 @@ class FuzzLoop:
                 attempts += 1
                 self.stats.corpus_write_retries += 1
                 self.clock.advance(self.cost.mutation, "corpus_retry")
-        return self.corpus.add(program, coverage, signal=signal, hints=hints)
+        return self.corpus.add(
+            program, coverage, signal=signal, hints=hints, lineage=lineage
+        )
 
     def _execute(self, program: Program):
         if self.clock.expired():
             return None
         start = self.clock.now
-        self.clock.advance(self.cost.test_execution, "execution")
-        self.stats.executions += 1
-        result = self.executor.run(program, now=self.clock.now)
-        if result.timed_out:
-            # The watchdog killed a hung VM; restarting from snapshot
-            # costs real fleet time (§3.1's snapshot semantics).
-            self.stats.exec_timeouts += 1
-            self.stats.vm_restarts += 1
-            if self.tracer is not None:
-                self.tracer.instant(
-                    self.track, "exec_timeout", self.clock.now, cat="fault",
-                )
-            self.clock.advance(self.cost.vm_reset, "vm_restart")
+        with self._section("loop.exec"):
+            self.clock.advance(self.cost.test_execution, "execution")
+            self.stats.executions += 1
+            result = self.executor.run(program, now=self.clock.now)
+            if result.timed_out:
+                # The watchdog killed a hung VM; restarting from snapshot
+                # costs real fleet time (§3.1's snapshot semantics).
+                self.stats.exec_timeouts += 1
+                self.stats.vm_restarts += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        self.track, "exec_timeout", self.clock.now,
+                        cat="fault",
+                    )
+                self.clock.advance(self.cost.vm_reset, "vm_restart")
         if self.tracer is not None:
             self.tracer.record(
                 self.track, "exec", start, self.clock.now, cat="exec",

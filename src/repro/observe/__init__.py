@@ -29,6 +29,17 @@ from .diff import (
     flag_regressions,
     format_diff,
 )
+from .explain import (
+    attribution_table,
+    coverage_waterfall,
+    format_attribution,
+    format_chain,
+    format_waterfall,
+    lineage_dot,
+    lineage_json,
+    load_lineage,
+    resolve_target,
+)
 from .export import chrome_trace, flame_summary, load_spans_jsonl, spans_jsonl
 from .metrics import (
     Counter,
@@ -46,6 +57,7 @@ from .model_quality import (
     model_quality_summary,
 )
 from .profile import Profiler
+from .provenance import LineageRecord, ProvenanceLog, edge_key, entry_id_for
 from .report import campaign_report, sparkline
 from .slo import (
     Alert,
@@ -78,10 +90,12 @@ __all__ = [
     "Histogram",
     "Instant",
     "LabeledCounterMap",
+    "LineageRecord",
     "MetricsRegistry",
     "ModelQualityTracker",
     "Observer",
     "Profiler",
+    "ProvenanceLog",
     "Regression",
     "SLOEngine",
     "SeriesBuffer",
@@ -91,8 +105,10 @@ __all__ = [
     "TimeSeriesStore",
     "Tracer",
     "alerts_json",
+    "attribution_table",
     "campaign_report",
     "chrome_trace",
+    "coverage_waterfall",
     "default_cluster_rules",
     "default_fuzz_rules",
     "default_rules",
@@ -100,16 +116,25 @@ __all__ = [
     "default_supervision_rules",
     "diff_snapshots",
     "drift_summary",
+    "edge_key",
+    "entry_id_for",
     "flag_regressions",
     "flame_summary",
     "flatten_snapshot",
+    "format_attribution",
+    "format_chain",
     "format_diff",
     "format_model_quality",
+    "format_waterfall",
+    "lineage_dot",
+    "lineage_json",
     "load_alerts",
+    "load_lineage",
     "load_spans_jsonl",
     "load_timeseries",
     "model_quality_summary",
     "parse_series_key",
+    "resolve_target",
     "series_key",
     "spans_jsonl",
     "sparkline",
@@ -127,6 +152,7 @@ class Observer:
     PROFILE_FILE = "profile.txt"
     TIMESERIES_FILE = "timeseries.json"
     ALERTS_FILE = "alerts.json"
+    LINEAGE_FILE = "lineage.json"
 
     def __init__(
         self,
@@ -146,6 +172,22 @@ class Observer:
         # trace instants) at export time.  None keeps exports rule-free.
         self.slo = slo
         self._annotated = False
+        # ProvenanceLogs attached by loops and hubs; export() merges
+        # them into lineage.json.  Not part of state_dict(): lineage
+        # rides in the loop/hub checkpoint state, and restored
+        # components re-attach on construction.
+        self.provenance_sources: list[ProvenanceLog] = []
+
+    # ----- provenance -----
+
+    def attach_provenance(self, log: ProvenanceLog) -> None:
+        """Register a lineage ledger for the merged lineage.json export."""
+        if not any(source is log for source in self.provenance_sources):
+            self.provenance_sources.append(log)
+
+    def merged_provenance(self) -> ProvenanceLog:
+        """One fleet-wide ledger across every attached source."""
+        return ProvenanceLog.merge(self.provenance_sources)
 
     # ----- sampling -----
 
@@ -174,9 +216,10 @@ class Observer:
         """Write all artifacts; returns ``{artifact_name: path}``.
 
         ``trace.json``/``spans.jsonl``/``metrics.json``/``flame.txt``/
-        ``timeseries.json`` (and ``alerts.json`` when a rule pack is
-        attached) are canonical — byte-reproducible from the seed;
-        ``profile.txt`` includes wall time and is diagnostic only.
+        ``timeseries.json`` (plus ``alerts.json`` when a rule pack is
+        attached and ``lineage.json`` when provenance sources are) are
+        canonical — byte-reproducible from the seed; ``profile.txt``
+        includes wall time and is diagnostic only.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -195,6 +238,10 @@ class Observer:
             (self.FLAME_FILE, flame_summary(self.tracer)),
             (self.PROFILE_FILE, self.profiler.report()),
         ]
+        if self.provenance_sources:
+            artifacts.append(
+                (self.LINEAGE_FILE, lineage_json(self.merged_provenance()))
+            )
         paths = {}
         for name, content in artifacts:
             path = directory / name

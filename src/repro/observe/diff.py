@@ -29,7 +29,7 @@ _HIGHER_IS_WORSE = (
 )
 _LOWER_IS_WORSE = (
     "executions", "completed", "accepted", "new_edges", "corpus_size",
-    "productive", "pushed", "pulled",
+    "productive", "pushed", "pulled", "attributed", "execs_per_vsecond",
 )
 
 

@@ -56,11 +56,23 @@ class Profiler:
             for name, entry in sorted(self._sections.items())
         }
 
-    def publish(self, registry, prefix: str = "profile.") -> None:
-        """Mirror the deterministic (virtual) side into registry gauges."""
+    def publish(
+        self, registry, prefix: str = "profile.", diagnostic: bool = False
+    ) -> None:
+        """Mirror the deterministic (virtual) side into registry gauges.
+
+        Pass ``diagnostic=True`` when the profiler itself is not part of
+        the checkpoint (the fuzz loop's continuous sampling): the gauges
+        then stay out of the canonical snapshot, so a resumed run — whose
+        profiler restarts empty — still exports byte-identical metrics.
+        """
         for name, (calls, _wall, virtual) in self.sections().items():
-            registry.gauge(f"{prefix}virtual", section=name).set(virtual)
-            registry.gauge(f"{prefix}calls", section=name).set(calls)
+            registry.gauge(
+                f"{prefix}virtual", section=name, diagnostic=diagnostic
+            ).set(virtual)
+            registry.gauge(
+                f"{prefix}calls", section=name, diagnostic=diagnostic
+            ).set(calls)
 
     def report(self) -> str:
         lines = [

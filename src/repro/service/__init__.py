@@ -5,7 +5,7 @@ fuzzing campaigns (kernel release, config, seed) to one service, which
 admission-controls them against per-tenant quotas, schedules them over
 a shared worker fleet on a single virtual clock, exposes live progress
 and SLO posture through :mod:`repro.observe`, and checkpoint/resumes
-the *entire* service (format v6) bit-identically.
+the *entire* service (format v7) bit-identically.
 
 Layout::
 
@@ -16,7 +16,7 @@ Layout::
     routes.py           Request/Response objects and the route table
     server.py           ServiceServer.handle() — the in-process API
     health.py           service health snapshot + report rendering
-    checkpoint.py       save_service/load_service (v6 envelope)
+    checkpoint.py       save_service/load_service (v7 envelope)
 
 The correctness bar, enforced by tests and the ``service-gate`` CI job:
 a campaign produces **bit-identical results** whether run standalone

@@ -1,4 +1,4 @@
-"""Service-level checkpoint/resume (format v6).
+"""Service-level checkpoint/resume (format v7).
 
 The whole control plane — tenant sessions, every job record, and each
 admitted campaign's execution state — persists as **one** digest-checked

@@ -337,7 +337,7 @@ class Orchestrator:
             runner.restore(job.exec_state)
         return runner
 
-    # ----- checkpointing (format v6 control layer) -----
+    # ----- checkpointing (format v7 control layer) -----
 
     def state_dict(self) -> dict:
         return {

@@ -58,6 +58,7 @@ ROUTES = (
     Route("GET", "/campaigns/<job_id>", "status"),
     Route("GET", "/campaigns/<job_id>/progress", "progress"),
     Route("GET", "/campaigns/<job_id>/result", "result"),
+    Route("GET", "/campaigns/<job_id>/lineage", "lineage"),
     Route("POST", "/campaigns/<job_id>/cancel", "cancel"),
     Route("GET", "/tenants/<tenant>", "tenant_status"),
     Route("GET", "/health", "health"),

@@ -178,20 +178,28 @@ class JobRunner:
         """Finish the campaign and produce the JSON-ready result payload
         a tenant fetches, including its determinism signature and the
         tenant-visible degradation ledger."""
+        from repro.observe import ProvenanceLog, attribution_table
+
         if self.loop is not None:
             stats = self.loop.finalize()
             merged = stats
             signature = stats.signature()
+            lineage = self.loop.provenance
             extra = {}
         else:
             result = self.cluster.finalize()
             merged = result.merged
             signature = result.signature()
+            lineage = ProvenanceLog.merge(
+                [worker.loop.provenance for worker in self.cluster.workers]
+                + [self.cluster.hub.provenance]
+            )
             extra = {
                 "hub": {
                     "accepted": result.hub_stats.accepted,
                     "duplicates": result.hub_stats.duplicates,
                     "dropped_entries": result.hub_stats.dropped_entries,
+                    "subsumed_entries": result.hub_stats.subsumed_entries,
                 },
                 "restarts": (
                     self.cluster.supervisor.restarts
@@ -221,11 +229,15 @@ class JobRunner:
                 "corpus_write_retries": merged.corpus_write_retries,
             },
             "signature": encode_signature(signature),
+            # The provenance view a tenant fetches via /lineage once the
+            # job is done (and may render locally with observe explain).
+            "attribution": attribution_table(lineage),
+            "lineage_summary": lineage.summary(),
         }
         payload.update(extra)
         return payload
 
-    # ----- checkpointing (format v6 exec layer) -----
+    # ----- checkpointing (format v7 exec layer) -----
 
     def state_dict(self) -> dict:
         if self.loop is not None:

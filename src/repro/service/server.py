@@ -11,7 +11,7 @@ Handlers are thin: they translate between wire payloads and the
 orchestrator/session API, mapping domain errors to 4xx responses.  The
 server itself is serializable (:meth:`state_dict`/:meth:`restore`),
 which the service checkpoint (:mod:`repro.service.checkpoint`) wraps in
-the digest-checked v6 envelope.
+the digest-checked v7 envelope.
 """
 
 from __future__ import annotations
@@ -141,6 +141,37 @@ class ServiceServer:
             "job_id": job_id, "state": job.state, "result": job.result,
         })
 
+    def _handle_lineage(self, params: dict, job_id: str) -> Response:
+        """Per-tenant lineage: the job's attribution table and lineage
+        summary.  Served from the finished result payload, or rebuilt
+        from the job's own exec-state checkpoint while it runs — each
+        tenant's ledger comes only from its own campaign state, so
+        lineage stays isolated exactly like the rest of exec state."""
+        from repro.observe import attribution_table
+
+        job = self.orchestrator.get(job_id)
+        if job is None:
+            return Response(404, {"error": f"no campaign {job_id!r}"})
+        if job.result is not None:
+            return Response(200, {
+                "job_id": job_id,
+                "state": job.state,
+                "attribution": job.result.get("attribution", []),
+                "summary": job.result.get("lineage_summary", {}),
+            })
+        log = self._job_provenance(job)
+        if log is None:
+            return Response(409, {
+                "error": f"{job_id} is {job.state}, no lineage yet",
+                "state": job.state,
+            })
+        return Response(200, {
+            "job_id": job_id,
+            "state": job.state,
+            "attribution": attribution_table(log),
+            "summary": log.summary(),
+        })
+
     def _handle_cancel(self, params: dict, job_id: str) -> Response:
         try:
             job = self.orchestrator.cancel(job_id)
@@ -192,6 +223,35 @@ class ServiceServer:
         store = TimeSeriesStore()
         store.restore(state)
         return store
+
+    def _job_provenance(self, job):
+        """A running job's merged ProvenanceLog, rebuilt from its exec
+        checkpoint (loop ``provenance`` slices plus the hub's) — never
+        by materializing loops."""
+        from repro.observe import ProvenanceLog
+
+        if job.exec_state is None:
+            return None
+        kind = job.exec_state.get("kind")
+        state = job.exec_state.get("state", {})
+        logs = []
+
+        def from_state(payload):
+            if payload is None:
+                return
+            log = ProvenanceLog()
+            log.restore(payload)
+            logs.append(log)
+
+        if kind == "loop":
+            from_state(state.get("provenance"))
+        elif kind == "cluster":
+            for worker in state.get("workers", []):
+                from_state(worker.get("loop", {}).get("provenance"))
+            from_state(state.get("hub", {}).get("provenance"))
+        if not logs:
+            return None
+        return ProvenanceLog.merge(logs)
 
     # ----- checkpointing -----
 

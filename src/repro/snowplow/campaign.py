@@ -976,6 +976,10 @@ class ChaosCampaignResult:
     outstanding_lost: int
     peak_edges: int
     observer: Observer | None = None
+    # Hub lineage accounting at the end of the chaos run: pushes /
+    # accepted / duplicates / subsumed counters plus how many lineage
+    # records the hub actually marked ``superseded_by``.
+    hub_accounting: dict = field(default_factory=dict)
 
     @property
     def coverage_ratio(self) -> float:
@@ -1008,12 +1012,30 @@ class ChaosCampaignResult:
         """Final coverage within ``threshold_pct`` of the no-fault run."""
         return self.coverage_ratio >= 1.0 - threshold_pct / 100.0
 
+    @property
+    def accounting_closed(self) -> bool:
+        """Zero-loss lineage accounting: every offered entry is either
+        accepted or a counted duplicate, and every subsumption left a
+        ``superseded_by`` record behind (re-offers of an already-
+        superseded entry re-bump the counter but add no record, so the
+        record count is a lower bound, never zero while drops happened).
+        """
+        acc = self.hub_accounting
+        if not acc:
+            return True
+        if acc["pushes"] != acc["accepted"] + acc["duplicates"]:
+            return False
+        if acc["superseded_records"] > acc["subsumed"]:
+            return False
+        return acc["subsumed"] == 0 or acc["superseded_records"] > 0
+
     def passed(self, threshold_pct: float = 10.0) -> bool:
         return (
             self.zero_corpus_loss
             and self.coverage_monotone
             and self.resume_identical
             and self.degraded_gracefully(threshold_pct)
+            and self.accounting_closed
         )
 
 
@@ -1108,6 +1130,13 @@ def run_chaos_campaign(
         outstanding_lost=outstanding,
         peak_edges=peak_edges,
         observer=observer,
+        hub_accounting={
+            "pushes": hub.stats.pushes,
+            "accepted": hub.stats.accepted,
+            "duplicates": hub.stats.duplicates,
+            "subsumed": hub.stats.subsumed_entries,
+            "superseded_records": hub.provenance.superseded_count,
+        },
     )
     if observer is not None:
         # End-state gauges for the supervision SLO pack: these are the

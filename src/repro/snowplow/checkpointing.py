@@ -33,6 +33,7 @@ from repro.errors import CheckpointError
 from repro.fuzzer.crash import TriagedCrash, categorize_description
 from repro.fuzzer.loop import FuzzLoop, FuzzObservation, FuzzStats
 from repro.kernel.coverage import Coverage
+from repro.observe.provenance import LineageRecord
 from repro.syzlang.parser import parse_program, serialize_program
 
 __all__ = [
@@ -56,7 +57,11 @@ __all__ = [
 # campaign's exec state (a ``loop_state``/``cluster_state`` payload per
 # running job) in one digest-checked envelope, so killing and resuming
 # the whole service replays every tenant's campaign bit-identically.
-_FORMAT_VERSION = 6
+# v7: provenance — each loop's lineage ledger (``provenance`` key),
+# per-entry lineage records in the corpus and hub state, and the
+# snowplow burst-id sequence, so `observe explain` output survives
+# kill+resume byte-identically.
+_FORMAT_VERSION = 7
 
 # Transient checkpoint-store write failures retried before giving up.
 _WRITE_ATTEMPTS = 5
@@ -102,9 +107,14 @@ def loop_state(loop: FuzzLoop, include_observer: bool = True) -> dict:
                 "signal": entry.signal,
                 "picked": entry.picked,
                 "hints": sorted(entry.hints),
+                "lineage": (
+                    entry.lineage.to_dict()
+                    if entry.lineage is not None else None
+                ),
             }
             for entry in loop.corpus.entries
         ],
+        "provenance": loop.provenance.state_dict(),
         "accumulated": {
             "blocks": sorted(loop.accumulated.blocks),
             "edges": sorted(list(edge) for edge in loop.accumulated.edges),
@@ -116,8 +126,11 @@ def loop_state(loop: FuzzLoop, include_observer: bool = True) -> dict:
     }
     if hasattr(loop, "_burst_yield"):
         # Snowplow extras.  Pending bursts are dropped along with the
-        # in-flight inference that would have produced more of them.
+        # in-flight inference that would have produced more of them; the
+        # burst-id sequence continues where it was so lineage records
+        # never reuse an id.
         state["burst_yield"] = loop._burst_yield
+        state["burst_seq"] = loop._burst_seq
     service = getattr(loop, "service", None)
     if service is not None and hasattr(service, "state_dict"):
         # A cluster worker's service is a view onto the shared tier,
@@ -194,12 +207,21 @@ def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
     loop.executor._rng.bit_generator.state = rng["executor"]
     loop.executor.vm_restarts = int(state["executor"]["vm_restarts"])
     loop.corpus.entries.clear()
+    loop.provenance.restore(state["provenance"])
     for entry_state in state["corpus"]:
+        lineage_state = entry_state.get("lineage")
         entry = loop.corpus.add(
             parse_program(entry_state["program"], loop.kernel.table),
             Coverage.from_traces(entry_state["traces"]),
             signal=int(entry_state["signal"]),
             hints=frozenset(entry_state["hints"]),
+            lineage=(
+                # Share the ledger's record object, as the live loop did.
+                loop.provenance.record(
+                    LineageRecord.from_dict(lineage_state)
+                )
+                if lineage_state is not None else None
+            ),
         )
         entry.picked = int(entry_state["picked"])
     loop.accumulated = Coverage(
@@ -222,6 +244,7 @@ def restore_loop_state(loop: FuzzLoop, state: dict) -> None:
         loop.stats.inference_failures += lost
     if "burst_yield" in state:
         loop._burst_yield = float(state["burst_yield"])
+        loop._burst_seq = int(state.get("burst_seq", 0))
         loop._bursts.clear()
         loop._active_burst = None
 

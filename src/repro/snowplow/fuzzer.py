@@ -182,6 +182,9 @@ class _Burst:
     # mutations covered, and how many new blocks it gained in total.
     hit: set[int] = field(default_factory=set)
     gained: int = 0
+    # Deterministic burst id ("w<worker>b<seq>") stamped into the
+    # lineage records of every mutation this burst schedules.
+    burst_id: str | None = None
 
 
 class SnowplowLoop(FuzzLoop):
@@ -260,6 +263,9 @@ class SnowplowLoop(FuzzLoop):
         # new coverage"), driving the adaptive burst share.
         self._burst_yield = 0.25
         self._active_burst: _Burst | None = None
+        # Monotone burst counter behind the deterministic burst ids
+        # (checkpointed, so resumed runs keep numbering where they were).
+        self._burst_seq = 0
         # The fallback selector rarely mutates arguments at random;
         # insertion/removal keep their usual share (§3.4).
         self._fallback_selector = TypeSelector(
@@ -339,10 +345,12 @@ class SnowplowLoop(FuzzLoop):
                     cfg.max_burst,
                     cfg.mutations_per_predicted_arg * len(paths),
                 )
+                self._burst_seq += 1
                 self._bursts.append(
                     _Burst(
                         program=program, paths=list(paths),
                         remaining=burst, targets=set(targets), hints=hints,
+                        burst_id=f"w{self.worker}b{self._burst_seq}",
                     )
                 )
         burst = self._next_live_burst()
@@ -372,6 +380,15 @@ class SnowplowLoop(FuzzLoop):
             )
         finally:
             self.engine.selector = original_selector
+
+    def _mutation_meta(self) -> tuple[str, str, str | None, int]:
+        """Burst-steered mutations are the learned engine; the fallback
+        path is the host fuzzer's own heuristics."""
+        burst = self._active_burst
+        if burst is None:
+            return super()._mutation_meta()
+        slot = "pmm" if hasattr(self.pmm_localizer, "model") else "oracle"
+        return "snowplow", slot, burst.burst_id, len(burst.paths)
 
     def _adaptive_fallback_selector(self) -> TypeSelector:
         cfg = self.snowplow_config

@@ -619,6 +619,14 @@ class TestChaosCampaign:
         assert result.passed()
         assert result.restarts >= 1
         assert result.outstanding_lost == 0
+        # Zero-loss lineage accounting: every push is either accepted
+        # or deduplicated, and each subsumption left a superseded_by
+        # mark in the hub ledger.
+        accounting = result.hub_accounting
+        assert accounting["pushes"] == (
+            accounting["accepted"] + accounting["duplicates"]
+        )
+        assert result.accounting_closed
         assert {w.site.split(":")[0] for w in result.plan.windows} == {
             "worker_kill", "worker_hang", "hub_partition", "shard_loss"
         }

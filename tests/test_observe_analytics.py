@@ -558,11 +558,11 @@ class TestStallAcceptance:
         ] == [(alert.time, alert.series) for alert in stalls]
 
 
-# ----- acceptance: checkpoint format v6 carries the timeline -----
+# ----- acceptance: checkpoint format v7 carries the timeline -----
 
 
-class TestCheckpointV6:
-    def test_format_version_is_6(self, kernel):
+class TestCheckpointV7:
+    def test_format_version_is_7(self, kernel):
         config = CampaignConfig(
             horizon=1200.0, runs=1, seed=3, seed_corpus_size=8,
             sample_interval=300.0,
@@ -573,7 +573,7 @@ class TestCheckpointV6:
         ).seed_corpus(8)
         loop.seed(seeds)
         state = loop_state(loop)
-        assert state["format_version"] == 6
+        assert state["format_version"] == 7
         assert "timeseries" in state["observer"]
 
     def test_single_loop_resume_replays_identical_timeline(self, kernel):

@@ -1,0 +1,420 @@
+"""Corpus lineage, coverage attribution, and `observe explain`.
+
+Covers the provenance acceptance gates: content-addressed identity,
+ledger semantics (first-wins, merge-order invariance), complete
+reproduction chains for every bug, >=95% edge attribution on tiny/6.8,
+byte-identical lineage exports across same-seed runs / kill+resume /
+worker counts, and hub subsumption accounting.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster import ClusterConfig, CorpusHub
+from repro.fuzzer import CorpusEntry
+from repro.kernel import Coverage, build_kernel
+from repro.observe import (
+    Observer,
+    attribution_table,
+    coverage_waterfall,
+    format_chain,
+    lineage_dot,
+    lineage_json,
+    load_lineage,
+    resolve_target,
+)
+from repro.observe.provenance import (
+    SEED_ENGINE,
+    UNION,
+    LineageRecord,
+    ProvenanceLog,
+    entry_id_for,
+)
+from repro.rng import make_rng
+from repro.snowplow import CampaignConfig, build_cluster
+from repro.snowplow.campaign import (
+    build_fuzz_loop,
+    fuzz_campaign_config,
+    fuzz_run_seed,
+)
+from repro.snowplow.checkpointing import loop_state, restore_loop_state
+from repro.syzlang import ProgramGenerator
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+@pytest.fixture(scope="module")
+def kernel_tiny():
+    return build_kernel("6.8", seed=1, size="tiny")
+
+
+def _build_loop(kernel, observer=None):
+    """Exactly the `repro fuzz --baseline --size tiny --hours 0.5` loop."""
+    config = fuzz_campaign_config(0.5, 0, 100)
+    return build_fuzz_loop(
+        kernel, None, fuzz_run_seed(0, kernel.version), config,
+        baseline=True, observer=observer if observer is not None else Observer(),
+    )
+
+
+@pytest.fixture(scope="module")
+def full_run(kernel_tiny):
+    """One finished tiny/6.8 campaign shared by the acceptance tests."""
+    loop = _build_loop(kernel_tiny)
+    loop.run()
+    stats = loop.finalize()
+    return loop, stats
+
+
+def _record(entry_id, parent=None, engine="syzkaller", slot="heuristic",
+            operator="splice", time=100.0, worker=0, gain=0,
+            burst_id=None, predicted=0):
+    return LineageRecord(
+        entry_id=entry_id, parent_id=parent, engine=engine,
+        operator=operator, slot=slot, burst_id=burst_id,
+        predicted=predicted, gain=gain, time=time, worker=worker,
+    )
+
+
+# ----- identity -----
+
+
+class TestEntryIdentity:
+    def test_content_addressed_and_clone_stable(self, kernel_tiny):
+        program = ProgramGenerator(
+            kernel_tiny.table, make_rng(5)
+        ).seed_corpus(1)[0]
+        coverage = Coverage.from_traces([[1, 2, 3]])
+        first = entry_id_for(program, coverage)
+        assert first == entry_id_for(program.clone(), coverage.copy())
+        assert len(first) == 16  # blake2b digest_size=8, hex
+
+    def test_coverage_is_part_of_identity(self, kernel_tiny):
+        program = ProgramGenerator(
+            kernel_tiny.table, make_rng(5)
+        ).seed_corpus(1)[0]
+        assert entry_id_for(program, Coverage.from_traces([[1, 2]])) != (
+            entry_id_for(program, Coverage.from_traces([[1, 2, 3]]))
+        )
+
+
+# ----- the ledger -----
+
+
+class TestProvenanceLog:
+    def test_record_is_first_wins_but_adopts_supersession(self):
+        log = ProvenanceLog()
+        original = log.record(_record("aa", time=10.0))
+        late = _record("aa", time=99.0)
+        late.superseded_by = "bb"
+        stored = log.record(late)
+        assert stored is original
+        assert stored.time == 10.0
+        assert stored.superseded_by == "bb"  # the one field a re-offer adds
+
+    def test_chain_is_root_first_and_cycle_guarded(self):
+        log = ProvenanceLog()
+        log.record(_record("root", engine=SEED_ENGINE, slot="-"))
+        log.record(_record("mid", parent="root"))
+        log.record(_record("leaf", parent="mid"))
+        chain = log.chain("leaf")
+        assert [rec.entry_id for rec in chain] == ["root", "mid", "leaf"]
+        # A (corrupt) parent cycle must terminate, not hang.
+        log.records["root"].parent_id = "leaf"
+        assert [rec.entry_id for rec in log.chain("leaf")] == [
+            "leaf", "mid", "root",
+        ][::-1]
+
+    def test_merge_is_invariant_to_log_order(self):
+        a, b = ProvenanceLog(), ProvenanceLog()
+        a.admit(_record("x", time=50.0, worker=0, gain=2), [(1, 2), (2, 3)])
+        b.admit(_record("y", time=40.0, worker=1, gain=1), [(2, 3), (3, 4)])
+        a.note_mutation("syzkaller", "heuristic")
+        b.note_mutation("snowplow", "pmm")
+        forward = ProvenanceLog.merge([a, b])
+        backward = ProvenanceLog.merge([b, a])
+        assert forward.state_dict() == backward.state_dict()
+        # The contested edge goes to the earlier claim, not the first log.
+        assert forward.edge_owner["2-3"] == "y"
+
+    def test_state_roundtrips_through_json(self):
+        log = ProvenanceLog()
+        log.admit(_record("x", gain=1), [(1, 2)])
+        log.note_crash("KASAN: demo", "x")
+        log.supersede("x", UNION)
+        other = ProvenanceLog()
+        other.restore(json.loads(json.dumps(log.state_dict())))
+        assert other == log
+        assert lineage_json(other) == lineage_json(log)
+
+    def test_load_lineage_rebuilds_the_export(self):
+        log = ProvenanceLog()
+        log.admit(_record("x", gain=1), [(7, 8)])
+        assert load_lineage(lineage_json(log)) == log
+
+
+# ----- golden DAG exports -----
+
+
+def _demo_lineage() -> ProvenanceLog:
+    """The fixed fixture the golden lineage files are generated from."""
+    log = ProvenanceLog()
+    log.admit(
+        _record("seed0000aaaa0000", engine=SEED_ENGINE, operator="seed",
+                slot="-", time=0.0, gain=3),
+        [(1, 2), (2, 3), (3, 4)],
+    )
+    log.note_mutation("snowplow", "pmm")
+    log.admit(
+        _record("child000bbbb0000", parent="seed0000aaaa0000",
+                engine="snowplow", slot="pmm",
+                operator="argument_mutation", time=120.0, gain=2,
+                burst_id="w0b1", predicted=2),
+        [(4, 5), (5, 6)],
+    )
+    log.note_mutation("syzkaller", "heuristic")
+    log.record(
+        _record("rival000cccc0000", parent="seed0000aaaa0000",
+                operator="splice", time=90.0, worker=1)
+    )
+    log.supersede("rival000cccc0000", "child000bbbb0000")
+    log.note_crash("KASAN: use-after-free in demo", "child000bbbb0000")
+    return log
+
+
+class TestGoldenLineage:
+    def test_lineage_json_matches_golden(self):
+        with open(os.path.join(GOLDEN_DIR, "lineage.json")) as handle:
+            assert lineage_json(_demo_lineage()) == handle.read().strip()
+
+    def test_lineage_dot_matches_golden(self):
+        with open(os.path.join(GOLDEN_DIR, "lineage.dot")) as handle:
+            assert lineage_dot(_demo_lineage()) == handle.read()
+
+    def test_demo_attribution_shape(self):
+        rows = attribution_table(_demo_lineage())
+        by_key = {f"{row['engine']}/{row['slot']}": row for row in rows}
+        assert by_key["seed/-"]["edges"] == 3
+        assert by_key["snowplow/pmm"]["bugs"] == 1
+        assert by_key["snowplow/pmm"]["dead_share"] == 0.0
+        assert by_key["syzkaller/heuristic"]["dead_share"] == 1.0
+        waterfall = coverage_waterfall(_demo_lineage())
+        assert waterfall[0]["root"] == "seed0000aaaa0000"
+        assert waterfall[0]["edges"] == 5
+        assert waterfall[0]["bugs"] == 1
+
+
+# ----- acceptance on tiny/6.8 -----
+
+
+class TestCampaignAttribution:
+    def test_every_bug_resolves_to_a_complete_chain(self, full_run):
+        loop, stats = full_run
+        assert stats.crashes, "campaign found no bugs — gate untested"
+        for crash in stats.crashes:
+            kind, resolved, chain = resolve_target(
+                loop.provenance, f"bug:{crash.signature}"
+            )
+            assert kind == "bug" and resolved == crash.signature
+            assert chain, f"empty chain for {crash.signature}"
+            assert chain[0].engine == SEED_ENGINE
+            assert chain[0].parent_id is None
+            for parent, child in zip(chain, chain[1:]):
+                assert child.parent_id == parent.entry_id
+
+    def test_at_least_95_percent_of_edges_attributed(self, full_run):
+        loop, stats = full_run
+        attributed = len(loop.provenance.edge_owner)
+        assert attributed >= 0.95 * stats.final_edges
+
+    def test_attributed_edges_resolve_to_live_records(self, full_run):
+        loop, _ = full_run
+        log = loop.provenance
+        for owner in set(log.edge_owner.values()):
+            assert log.chain(owner), f"edge owner {owner} has no chain"
+
+    def test_exports_are_byte_stable_across_same_seed_runs(
+        self, kernel_tiny, full_run
+    ):
+        first, _ = full_run
+        second = _build_loop(kernel_tiny)
+        second.run()
+        second.finalize()
+        assert lineage_json(second.provenance) == (
+            lineage_json(first.provenance)
+        )
+        assert lineage_dot(second.provenance) == (
+            lineage_dot(first.provenance)
+        )
+
+    def test_phase_gauges_are_canonical_but_profiler_is_not(
+        self, full_run, tmp_path
+    ):
+        loop, _ = full_run
+        loop.observer.export(tmp_path)
+        metrics = (tmp_path / Observer.METRICS_FILE).read_text()
+        assert "fuzz.execs_per_vsecond" in metrics
+        assert "time.share.execution" in metrics
+        assert "time.share.mutation" in metrics
+        # The sampling profiler is diagnostic-only: it is not part of
+        # the checkpoint, so a resumed run restarts it empty — keeping
+        # it out of metrics.json is what keeps that file byte-identical
+        # across kill+resume.
+        assert '"profile.' not in metrics
+        assert (tmp_path / Observer.LINEAGE_FILE).exists()
+
+
+class TestKillResume:
+    def test_explain_output_survives_kill_and_resume(
+        self, kernel_tiny, full_run
+    ):
+        whole, stats = full_run
+        horizon = whole.clock.horizon
+
+        interrupted = _build_loop(kernel_tiny)
+        interrupted.run_until(0.8 * horizon)
+        state = json.loads(json.dumps(loop_state(interrupted)))
+
+        resumed = _build_loop(kernel_tiny)
+        restore_loop_state(resumed, state)
+        resumed.run()
+        resumed.finalize()
+
+        assert lineage_json(resumed.provenance) == (
+            lineage_json(whole.provenance)
+        )
+        table = json.dumps(attribution_table(resumed.provenance))
+        assert table == json.dumps(attribution_table(whole.provenance))
+        for crash in stats.crashes:
+            assert format_chain(
+                *resolve_target(
+                    resumed.provenance, f"bug:{crash.signature}"
+                )
+            ) == format_chain(
+                *resolve_target(whole.provenance, f"bug:{crash.signature}")
+            )
+
+
+class TestWorkerCountInvariance:
+    def test_worker_zero_attribution_identical_at_1_4_8_workers(
+        self, kernel_tiny
+    ):
+        """Worker i's RNG streams derive from (run_seed, "worker", i)
+        regardless of fleet size; with hub syncs pushed past the
+        horizon, worker 0 must earn the exact same attribution table
+        whether it fuzzes alone or inside an 8-worker fleet."""
+        config = CampaignConfig(
+            horizon=900.0, runs=1, seed=5, seed_corpus_size=10,
+            sample_interval=300.0,
+        )
+        tables = []
+        for workers in (1, 4, 8):
+            cluster = build_cluster(
+                kernel_tiny, None, 21, config,
+                cluster_config=ClusterConfig(
+                    workers=workers, sync_interval=10 * config.horizon,
+                ),
+                baseline=True,
+            )
+            cluster.run()
+            tables.append(json.dumps(
+                attribution_table(cluster.workers[0].loop.provenance),
+                sort_keys=True,
+            ))
+        assert tables[0] == tables[1] == tables[2]
+
+
+# ----- hub subsumption accounting -----
+
+
+class TestHubSubsumption:
+    def _entry(self, program, traces, lineage):
+        return CorpusEntry(
+            program=program, coverage=Coverage.from_traces(traces),
+            signal=1, lineage=lineage,
+        )
+
+    def test_dedup_drop_books_subsumption_with_owner(self, kernel_tiny):
+        programs = ProgramGenerator(
+            kernel_tiny.table, make_rng(7)
+        ).seed_corpus(3)
+        hub = CorpusHub()
+        winner = self._entry(programs[0], [[1, 2, 3]], _record("winner"))
+        rival = self._entry(programs[1], [[1, 2, 3]], _record("rival"))
+        assert hub.push(0, [winner], now=10.0) == 1
+        assert hub.push(1, [rival], now=20.0) == 0
+        assert hub.stats.accepted == 1
+        assert hub.stats.duplicates == 1
+        assert hub.stats.subsumed_entries == 1
+        assert hub.provenance.records["rival"].superseded_by == "winner"
+        assert hub.provenance.records["winner"].superseded_by is None
+
+    def test_reoffer_of_own_entry_is_not_a_subsumption(self, kernel_tiny):
+        programs = ProgramGenerator(
+            kernel_tiny.table, make_rng(7)
+        ).seed_corpus(1)
+        hub = CorpusHub()
+        entry = self._entry(programs[0], [[1, 2, 3]], _record("mine"))
+        hub.push(0, [entry], now=10.0)
+        hub.push(0, [entry], now=30.0)  # replication echo / pull push-back
+        assert hub.stats.duplicates == 1
+        assert hub.stats.subsumed_entries == 0
+        assert hub.provenance.records["mine"].superseded_by is None
+
+    def test_union_subsumption_when_no_single_owner(self, kernel_tiny):
+        programs = ProgramGenerator(
+            kernel_tiny.table, make_rng(7)
+        ).seed_corpus(2)
+        hub = CorpusHub()
+        hub.push(0, [
+            self._entry(programs[0], [[1, 2, 3]], _record("broad")),
+        ], now=10.0)
+        # New signature, but every edge is already in the hub union.
+        stale = self._entry(programs[1], [[1, 2]], _record("stale"))
+        assert hub.push(1, [stale], now=20.0) == 0
+        assert hub.stats.subsumed_entries == 1
+        assert hub.provenance.records["stale"].superseded_by == UNION
+
+    def test_zero_loss_accounting_closes(self, kernel_tiny):
+        programs = ProgramGenerator(
+            kernel_tiny.table, make_rng(7)
+        ).seed_corpus(3)
+        hub = CorpusHub()
+        hub.push(0, [
+            self._entry(programs[0], [[1, 2, 3]], _record("a1")),
+            self._entry(programs[1], [[4, 5, 6]], _record("a2")),
+        ], now=10.0)
+        hub.push(1, [
+            self._entry(programs[2], [[1, 2, 3]], _record("a3")),
+        ], now=20.0)
+        assert hub.stats.pushes == hub.stats.accepted + hub.stats.duplicates
+        assert hub.provenance.superseded_count == hub.stats.subsumed_entries
+
+    def test_lineage_survives_hub_checkpoint(self, kernel_tiny):
+        programs = ProgramGenerator(
+            kernel_tiny.table, make_rng(7)
+        ).seed_corpus(2)
+        hub = CorpusHub()
+        hub.push(0, [
+            self._entry(programs[0], [[1, 2, 3]], _record("kept")),
+        ], now=10.0)
+        hub.push(1, [
+            self._entry(programs[1], [[1, 2, 3]], _record("gone")),
+        ], now=20.0)
+        restored = CorpusHub()
+        restored.restore(
+            json.loads(json.dumps(hub.state_dict())), kernel_tiny.table
+        )
+        assert lineage_json(restored.provenance) == (
+            lineage_json(hub.provenance)
+        )
+        assert restored.entries[0].lineage is (
+            restored.provenance.records["kept"]
+        )
+        # A fresh collision against the restored hub still names the
+        # right owner: the signature->owner map rebuilt too.
+        again = self._entry(programs[1], [[1, 2, 3]], _record("late"))
+        restored.push(2, [again], now=30.0)
+        assert restored.provenance.records["late"].superseded_by == "kept"
