@@ -23,6 +23,14 @@ layer provides the ground truth the learning stack is measured against.
   chains, slot tokens in condition assembly, producible state flags) and
   corpus hygiene (resource ordering, dangling fds, NULL pointers that
   pin predicates) in CI via ``analyze --strict``.
+- :mod:`repro.analyze.impact` (+ :mod:`repro.analyze.distance`) — the
+  patch-impact pass.  Statically diffs per-syscall CFGs between two
+  releases into a canonical :class:`ImpactReport`, classifies every
+  changed block (solvable / unsteerable / unreachable) into the
+  :class:`TargetManifest` that ``fuzz --directed patch:<a>..<b>``
+  consumes, and computes the AFLGo-style :class:`DistanceField` (CFG
+  edges plus StateCondition producer edges) the
+  :class:`PatchDirector` schedules against.
 """
 
 from repro.analyze.deps import (
@@ -33,6 +41,20 @@ from repro.analyze.deps import (
     StaticOracleLocalizer,
     SteeringSlot,
     static_truths,
+)
+from repro.analyze.distance import STATE_EDGE_COST, DistanceField
+from repro.analyze.impact import (
+    HandlerDiff,
+    ImpactReport,
+    ImpactTarget,
+    PatchDirector,
+    PredicateChange,
+    TargetManifest,
+    build_target_manifest,
+    classify_block,
+    compute_impact,
+    describe_condition,
+    run_impact_checks,
 )
 from repro.analyze.lint import (
     Check,
@@ -61,23 +83,36 @@ __all__ = [
     "BlockDependencies",
     "Check",
     "DependencyOracle",
+    "DistanceField",
     "Finding",
     "FlagRequirement",
+    "HandlerDiff",
+    "ImpactReport",
+    "ImpactTarget",
+    "PatchDirector",
     "PathState",
     "PathWitness",
     "Predicate",
+    "PredicateChange",
     "ReachabilityAnalysis",
+    "STATE_EDGE_COST",
     "Severity",
     "StateDependency",
     "StaticOracleLocalizer",
     "SteeringSlot",
+    "TargetManifest",
     "WitnessBuilder",
+    "build_target_manifest",
+    "classify_block",
+    "compute_impact",
+    "describe_condition",
     "dominator_tree",
     "findings_json",
     "load_findings",
     "registered_checks",
     "run_corpus_checks",
     "run_kernel_checks",
+    "run_impact_checks",
     "static_truths",
     "strict_failures",
     "table_mismatch_findings",

@@ -45,6 +45,7 @@ __all__ = [
     "findings_json",
     "kernel_check",
     "corpus_check",
+    "impact_check",
     "load_findings",
     "registered_checks",
     "run_corpus_checks",
@@ -142,6 +143,15 @@ def kernel_check(name: str, severity: str):
 def corpus_check(name: str, severity: str):
     """Register a corpus-scope check: ``fn(ctx) -> Iterator[Finding]``."""
     return _register("corpus", name, severity)
+
+
+def impact_check(name: str, severity: str):
+    """Register an impact-scope check: ``fn(ctx) -> Iterator[Finding]``.
+
+    Impact checks run over a release diff and its target manifest; see
+    :func:`repro.analyze.impact.run_impact_checks`.
+    """
+    return _register("impact", name, severity)
 
 
 def registered_checks(scope: str | None = None) -> list[Check]:
@@ -638,7 +648,12 @@ def _run(scope: str, ctx, observer, checks: Iterable[str] | None):
                 "analyze", f"lint.{check.name}", 0.0, cat="analyze",
                 scope=scope, findings=len(produced),
             )
+    # Stable sort *then* dedupe: identical findings (e.g. the same
+    # release linted twice under one namespace) collapse to one record,
+    # so the output is a pure function of the finding set — independent
+    # of check registration order or repetition.
     findings.sort(key=Finding.sort_key)
+    findings = list(dict.fromkeys(findings))
     if observer is not None:
         registry = observer.registry
         for severity in SEVERITIES:
@@ -653,8 +668,8 @@ def strict_failures(findings: Iterable[Finding]) -> list[Finding]:
 
 
 def findings_json(findings: Iterable[Finding], **context) -> str:
-    """Canonical findings.json: stable ordering, stable bytes."""
-    ordered = sorted(findings, key=Finding.sort_key)
+    """Canonical findings.json: stable ordering, deduped, stable bytes."""
+    ordered = sorted(set(findings), key=Finding.sort_key)
     payload = {
         "version": FINDINGS_VERSION,
         "context": dict(sorted(context.items())),

@@ -147,6 +147,30 @@ class AbstractValue:
         refined = AbstractValue(lo, hi, must_set, must_clear)
         return None if refined.is_empty() else refined
 
+    def meet(self, other: "AbstractValue") -> "AbstractValue":
+        """Greatest lower bound: the conjunction of both constraint
+        sets.  Exact in this domain — a value is admitted by the meet
+        iff both operands admit it — because intervals intersect to
+        intervals and must-bit sets union to must-bit sets."""
+        return AbstractValue(
+            lo=max(self.lo, other.lo),
+            hi=min(self.hi, other.hi),
+            must_set=self.must_set | other.must_set,
+            must_clear=self.must_clear | other.must_clear,
+        )
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        """Least upper bound: a sound over-approximation of the union.
+        Any value either operand admits is admitted by the join (the
+        converse does not hold — interval hulls and bit intersections
+        lose the disjunction, as joins in a conjunctive domain must)."""
+        return AbstractValue(
+            lo=min(self.lo, other.lo),
+            hi=max(self.hi, other.hi),
+            must_set=self.must_set & other.must_set,
+            must_clear=self.must_clear & other.must_clear,
+        )
+
     def example(self) -> int:
         """A concrete witness value; raises on an empty abstraction."""
         candidates = (

@@ -22,6 +22,13 @@ Subcommands mirror the Snowplow workflow::
     python -m repro.cli analyze kernel --releases 6.8,6.9,6.10 --strict
     python -m repro.cli analyze corpus --kernel 6.8 --seed-corpus 100
     python -m repro.cli analyze oracle --kernel 6.8 --compare-pmm
+    python -m repro.cli analyze impact 6.8 6.9 --strict --manifest targets.json
+    python -m repro.cli fuzz --directed patch:6.8..6.9 --oracle --hours 2
+
+Analyze subcommands share one exit-code contract: 0 clean, 1 when
+``--strict`` trips on findings (or a gate fails), 2 on internal errors
+(bad inputs, crashes) — so CI can tell "the lint found something" from
+"the lint itself broke".
 """
 
 from __future__ import annotations
@@ -149,8 +156,36 @@ def _export_observer(observer: Observer | None, directory) -> None:
     print(f"  telemetry: {', '.join(sorted(paths))} -> {directory}")
 
 
+def _parse_directed_spec(spec: str) -> tuple[str, str] | None:
+    """``patch:<from>..<to>`` -> (from, to), or None when malformed."""
+    if not spec.startswith("patch:"):
+        return None
+    from_version, sep, to_version = spec[len("patch:"):].partition("..")
+    if not sep or not from_version or not to_version:
+        return None
+    return from_version, to_version
+
+
 def _cmd_fuzz(args) -> int:
-    kernel = build_kernel(args.kernel, seed=args.kernel_seed, size=args.size)
+    directed_versions = None
+    if args.directed:
+        directed_versions = _parse_directed_spec(args.directed)
+        if directed_versions is None:
+            print(f"bad --directed spec {args.directed!r} "
+                  f"(expected patch:<from>..<to>)", file=sys.stderr)
+            return 2
+        if args.baseline:
+            print("--directed needs the Snowplow loop; drop --baseline",
+                  file=sys.stderr)
+            return 2
+        if args.workers > 1:
+            print("--directed runs single-worker; drop --workers",
+                  file=sys.stderr)
+            return 2
+    kernel = build_kernel(
+        directed_versions[1] if directed_versions else args.kernel,
+        seed=args.kernel_seed, size=args.size,
+    )
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
@@ -205,9 +240,25 @@ def _cmd_fuzz(args) -> int:
         analysis = ReachabilityAnalysis(kernel, observer=observer)
         print(f"static analysis: {len(analysis.dead_blocks())} dead "
               f"blocks will be skipped as directed targets")
+    director = None
+    if directed_versions is not None:
+        from repro.analyze import PatchDirector, build_target_manifest
+
+        old = build_kernel(
+            directed_versions[0], seed=args.kernel_seed, size=args.size
+        )
+        manifest = build_target_manifest(old, kernel)
+        counts = manifest.counts()
+        director = PatchDirector(kernel, manifest, observer=observer)
+        print(f"patch {old.version} -> {kernel.version}: "
+              f"{len(director.targets)} fuzzable changed block(s) "
+              f"({counts['solvable']} solvable, "
+              f"{counts['unsteerable']} unsteerable, "
+              f"{counts['unreachable']} statically unreachable)")
     loop = build_fuzz_loop(
         kernel, trained, run_seed, config, baseline=args.baseline,
         oracle=oracle, observer=observer, analysis=analysis,
+        director=director,
     )
     label = "syzkaller" if args.baseline else "snowplow"
     stats = loop.run()
@@ -217,6 +268,16 @@ def _cmd_fuzz(args) -> int:
     if getattr(stats, "dead_targets_skipped", 0):
         print(f"  skipped {stats.dead_targets_skipped} statically dead "
               f"frontier targets")
+    if director is not None:
+        reached = len(director.reached_at)
+        total = len(director.targets)
+        if director.complete and total:
+            last = max(director.reached_at.values())
+            print(f"  directed: all {total} changed blocks reached "
+                  f"(last at t={last / 3600.0:.2f}h)")
+        else:
+            print(f"  directed: {reached}/{total} changed blocks reached "
+                  f"by the horizon")
     for observation in stats.observations[:: max(len(stats.observations) // 8, 1)]:
         print(f"  t={observation.time / 3600.0:5.2f}h "
               f"edges={observation.edges}")
@@ -615,6 +676,25 @@ def _cmd_observe_report(args) -> int:
 # ----- static analysis -----
 
 
+def _analyze_guard(func):
+    """The analyze exit-code contract: 0 clean, 1 findings, 2 broken.
+
+    Findings-driven failures return 1 from the subcommand body; every
+    unhandled exception (bad release names, I/O failures, analysis
+    bugs) is mapped to exit 2 here so a red ``--strict`` gate is never
+    confused with the linter itself falling over.
+    """
+    def wrapper(args) -> int:
+        try:
+            return func(args)
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:
+            print(f"analyze: internal error: {error}", file=sys.stderr)
+            return 2
+    return wrapper
+
+
 def _analyze_observer(args) -> Observer | None:
     return Observer() if getattr(args, "observe_dir", None) else None
 
@@ -779,6 +859,55 @@ def _cmd_analyze_oracle(args) -> int:
         )
         print(f"metrics written to {args.out}")
     return 0 if oracle_metrics.precision == oracle_metrics.recall == 1.0 else 1
+
+
+def _cmd_analyze_impact(args) -> int:
+    from repro.analyze import (
+        DependencyOracle,
+        ReachabilityAnalysis,
+        build_target_manifest,
+        compute_impact,
+        run_impact_checks,
+    )
+
+    old = build_kernel(
+        args.from_version, seed=args.kernel_seed, size=args.size
+    )
+    new = build_kernel(args.to_version, seed=args.kernel_seed, size=args.size)
+    observer = _analyze_observer(args)
+    report = compute_impact(old, new)
+    reach = ReachabilityAnalysis(new, observer=observer)
+    oracle = DependencyOracle(new)
+    manifest = build_target_manifest(
+        old, new, report=report, reach=reach, oracle=oracle
+    )
+    counts = manifest.counts()
+    modified = sum(
+        1 for diff in report.handlers if diff.status == "modified"
+    )
+    print(f"impact {old.version} -> {new.version}: "
+          f"{len(report.added_handlers)} added, "
+          f"{len(report.removed_handlers)} removed, "
+          f"{modified} modified handler(s); "
+          f"{len(report.changed_blocks())} changed block(s), "
+          f"{len(report.changed_predicates)} changed predicate(s), "
+          f"{len(report.touched_bugs)} touched bug chain(s)")
+    print(f"  targets: {counts['solvable']} solvable, "
+          f"{counts['unsteerable']} unsteerable, "
+          f"{counts['unreachable']} unreachable")
+    if args.manifest:
+        Path(args.manifest).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.manifest).write_text(manifest.to_json())
+        print(f"target manifest written to {args.manifest}")
+    findings = run_impact_checks(
+        report, manifest, old, new, observer=observer
+    )
+    return _finish_analyze(
+        args, findings, observer,
+        {"scope": "impact",
+         "releases": [old.version, new.version],
+         "size": args.size, "kernel_seed": args.kernel_seed},
+    )
 
 
 # ----- spec inference -----
@@ -1028,6 +1157,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run static reachability analysis first and never "
                         "pick statically dead blocks as directed targets "
                         "(single-worker Snowplow mode)")
+    p.add_argument("--directed", default=None, metavar="patch:FROM..TO",
+                   help="patch-directed mode: fuzz the TO release with "
+                        "scheduling steered toward the blocks the "
+                        "FROM..TO diff changed (single-worker Snowplow "
+                        "mode; overrides --kernel with TO)")
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
@@ -1240,7 +1374,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(overrides --kernel; findings get a "
                         "version/ location prefix)")
     _add_analyze_common(q)
-    q.set_defaults(func=_cmd_analyze_kernel)
+    q.set_defaults(func=_analyze_guard(_cmd_analyze_kernel))
 
     q = analyze_sub.add_parser(
         "corpus",
@@ -1252,7 +1386,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--seed-corpus", type=int, default=100,
                    help="corpus size to generate and lint")
     _add_analyze_common(q)
-    q.set_defaults(func=_cmd_analyze_corpus)
+    q.set_defaults(func=_analyze_guard(_cmd_analyze_corpus))
 
     q = analyze_sub.add_parser(
         "oracle",
@@ -1272,7 +1406,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also train a PMM and print the Table-1 gap")
     q.add_argument("--out", default=None,
                    help="write oracle metrics JSON here")
-    q.set_defaults(func=_cmd_analyze_oracle)
+    q.set_defaults(func=_analyze_guard(_cmd_analyze_oracle))
+
+    q = analyze_sub.add_parser(
+        "impact",
+        help="diff two releases' CFGs, classify every changed block, "
+             "and emit the directed-fuzzing target manifest",
+    )
+    q.add_argument("from_version", metavar="from",
+                   help="old kernel version (e.g. 6.8)")
+    q.add_argument("to_version", metavar="to",
+                   help="new kernel version (e.g. 6.9)")
+    q.add_argument("--kernel-seed", type=int, default=1)
+    q.add_argument("--size", default="default", choices=KNOWN_SIZES)
+    q.add_argument("--manifest", default=None,
+                   help="write the TargetManifest JSON here (the file "
+                        "`fuzz --directed patch:<from>..<to>` rebuilds)")
+    _add_analyze_common(q)
+    q.set_defaults(func=_analyze_guard(_cmd_analyze_impact))
 
     p = sub.add_parser(
         "specgen",

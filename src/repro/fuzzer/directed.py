@@ -33,7 +33,51 @@ from repro.syzlang.generator import ProgramGenerator
 from repro.syzlang.program import ArgPath, Program
 from repro.vclock import CostModel, VirtualClock
 
-__all__ = ["DirectedFuzzer", "DirectedResult", "SyzDirectLocalizer"]
+__all__ = [
+    "DirectedFuzzer",
+    "DirectedResult",
+    "SyzDirectLocalizer",
+    "plant_target_call",
+]
+
+
+def plant_target_call(
+    program: Program,
+    generator: ProgramGenerator,
+    target_syscall: str,
+    rng: np.random.Generator,
+) -> bool:
+    """Append ``target_syscall`` to ``program``, resource-aware.
+
+    Producers for any resources the call consumes that the program does
+    not already produce are inserted first (SyzDirect's call planting).
+    Mutates ``program`` in place; returns False when the syscall is
+    unknown to the generator's table.
+    """
+    if not target_syscall or target_syscall not in generator.table:
+        return False
+    spec = generator.table.lookup(target_syscall)
+    position = len(program.calls)
+    producers: dict[str, list[int]] = {}
+    for index, call in enumerate(program.calls):
+        produced = call.spec.produces
+        kind = produced
+        while kind is not None:
+            producers.setdefault(kind.name, []).append(index)
+            kind = kind.parent
+    for needed in spec.consumes():
+        if needed.name not in producers:
+            producer_specs = generator.table.producers_of(needed)
+            if producer_specs:
+                producer = producer_specs[
+                    int(rng.integers(len(producer_specs)))
+                ]
+                call = generator.random_call(producer, producers)
+                program.insert_call(position, call)
+                position += 1
+                producers.setdefault(needed.name, []).append(position - 1)
+    program.insert_call(position, generator.random_call(spec, producers))
+    return True
 
 
 class SyzDirectLocalizer:
@@ -250,28 +294,4 @@ class DirectedFuzzer:
     def _insert_target_call(self, program: Program) -> None:
         """Plant the target's system call, with producers for its
         resources (resource-aware planting)."""
-        if not self.target_syscall or self.target_syscall not in self.generator.table:
-            return
-        spec = self.generator.table.lookup(self.target_syscall)
-        position = len(program.calls)
-        producers: dict[str, list[int]] = {}
-        for index, call in enumerate(program.calls):
-            produced = call.spec.produces
-            kind = produced
-            while kind is not None:
-                producers.setdefault(kind.name, []).append(index)
-                kind = kind.parent
-        for needed in spec.consumes():
-            if needed.name not in producers:
-                producer_specs = self.generator.table.producers_of(needed)
-                if producer_specs:
-                    producer = producer_specs[
-                        int(self.rng.integers(len(producer_specs)))
-                    ]
-                    call = self.generator.random_call(producer, producers)
-                    program.insert_call(position, call)
-                    position += 1
-                    producers.setdefault(needed.name, []).append(position - 1)
-        program.insert_call(
-            position, self.generator.random_call(spec, producers)
-        )
+        plant_target_call(program, self.generator, self.target_syscall, self.rng)

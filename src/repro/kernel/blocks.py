@@ -47,5 +47,31 @@ class BasicBlock:
     def is_exit(self) -> bool:
         return self.role in (BlockRole.EXIT_SUCCESS, BlockRole.EXIT_ERROR)
 
+    def signature(self) -> tuple:
+        """Content signature, independent of ``block_id``.
+
+        Two blocks from different kernel builds are "the same code" iff
+        their signatures match: labels never embed block ids, assembly
+        tokens and condition operands are pure functions of the handler
+        seed, and bugs are identified by their stable ``bug_id``.  The
+        release-diff pass (:mod:`repro.analyze.impact`) pairs blocks
+        across builds and compares these.
+        """
+        condition = self.condition
+        if condition is None:
+            cond_key: tuple = ()
+        elif hasattr(condition, "path_elements"):
+            cond_key = (
+                "arg", condition.syscall, tuple(condition.path_elements),
+                condition.op.name, condition.operand,
+            )
+        else:
+            cond_key = ("state", condition.key, condition.operand)
+        bug_id = getattr(self.bug, "bug_id", None)
+        return (
+            self.role.value, self.label, self.subsystem, cond_key,
+            tuple(self.effects), bug_id, self.errno, tuple(self.asm),
+        )
+
     def __repr__(self) -> str:
         return f"<block {self.block_id} {self.label} {self.role.value}>"

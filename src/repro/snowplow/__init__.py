@@ -19,6 +19,7 @@ from repro.snowplow.campaign import (
     CoverageCampaignResult,
     CrashCampaignResult,
     FaultCampaignResult,
+    PatchCampaignResult,
     ScalingCampaignResult,
     ScalingPoint,
     build_cluster,
@@ -31,6 +32,7 @@ from repro.snowplow.campaign import (
     run_crash_campaign,
     run_directed_campaign,
     run_fault_tolerance_campaign,
+    run_patch_campaign,
     run_scaling_campaign,
     train_pmm,
     TrainedPMM,
@@ -66,6 +68,7 @@ __all__ = [
     "CrashCampaignResult",
     "FaultCampaignResult",
     "PMMLocalizer",
+    "PatchCampaignResult",
     "ScalingCampaignResult",
     "ScalingPoint",
     "SnowplowConfig",
@@ -95,6 +98,7 @@ __all__ = [
     "run_crash_campaign",
     "run_directed_campaign",
     "run_fault_tolerance_campaign",
+    "run_patch_campaign",
     "run_scaling_campaign",
     "save_checkpoint",
     "scaling_json",

@@ -72,6 +72,7 @@ __all__ = [
     "CoverageCampaignResult",
     "CrashCampaignResult",
     "FaultCampaignResult",
+    "PatchCampaignResult",
     "ScalingCampaignResult",
     "ScalingPoint",
     "TrainedPMM",
@@ -87,6 +88,7 @@ __all__ = [
     "run_crash_campaign",
     "run_directed_campaign",
     "run_fault_tolerance_campaign",
+    "run_patch_campaign",
     "run_scaling_campaign",
     "train_pmm",
 ]
@@ -284,6 +286,7 @@ def _build_snowplow_loop(
     observer: Observer | None = None,
     worker: int = 0,
     analysis=None,
+    director=None,
 ) -> SnowplowLoop:
     executor = Executor(kernel, seed=derive_seed(run_seed, "exec"))
     generator = ProgramGenerator(kernel.table, split(run_seed, "gen"))
@@ -308,7 +311,7 @@ def _build_snowplow_loop(
         split(run_seed, "loop"), sample_interval=config.sample_interval,
         localizer=localizer, snowplow_config=config.snowplow,
         injector=injector, service=service, observer=observer,
-        worker=worker, analysis=analysis,
+        worker=worker, analysis=analysis, director=director,
     )
 
 
@@ -359,6 +362,7 @@ def build_fuzz_loop(
     injector: FaultInjector | None = None,
     observer: Observer | None = None,
     analysis=None,
+    director=None,
 ) -> FuzzLoop:
     """A seeded single-worker campaign loop, ready to ``run()``.
 
@@ -377,6 +381,7 @@ def build_fuzz_loop(
         loop = _build_snowplow_loop(
             kernel, trained, run_seed, config, oracle=oracle,
             injector=injector, observer=observer, analysis=analysis,
+            director=director,
         )
     seeds = ProgramGenerator(
         kernel.table, split(run_seed, "seed-corpus")
@@ -1256,3 +1261,96 @@ def run_directed_campaign(
                 per_mode[mode].append(fuzzer.run())
         results[target] = per_mode
     return results
+
+
+# ----- patch-directed fuzzing (repro.analyze.impact) -----
+
+
+@dataclass
+class PatchCampaignResult:
+    """A directed-vs-plain pair of runs against one release diff."""
+
+    from_version: str
+    to_version: str
+    horizon: float
+    targets: tuple[int, ...]
+    directed: FuzzStats
+    plain: FuzzStats
+    directed_reached_at: dict[int, float]
+    plain_reached_at: dict[int, float]
+    directed_time: float
+    plain_time: float
+    directed_complete: bool
+    plain_complete: bool
+
+    def speedup(self) -> float:
+        """Plain over directed time-to-all-targets (>1 = directed wins)."""
+        if self.directed_time <= 0:
+            return float("inf")
+        return self.plain_time / self.directed_time
+
+    def targets_reached_fraction(self) -> float:
+        if not self.targets:
+            return 1.0
+        return len(self.directed_reached_at) / len(self.targets)
+
+
+def run_patch_campaign(
+    old_kernel: Kernel,
+    new_kernel: Kernel,
+    config: CampaignConfig,
+    manifest=None,
+) -> PatchCampaignResult:
+    """Directed-vs-plain time-to-changed-surface on one release diff.
+
+    Both arms run the *same* oracle Snowplow loop with the same run
+    seed and a cloned seed corpus; the plain arm carries an
+    observe-only :class:`~repro.analyze.impact.PatchDirector` (zero rng
+    draws, so it is bit-identical to an undirected run) purely to
+    record when each changed block is first covered, while the directed
+    arm's director actively schedules distance-ranked targets and
+    steers mutations toward them.  The ratio of the two
+    time-to-all-targets numbers is the directed bench's headline.
+    """
+    from repro.analyze.impact import PatchDirector, build_target_manifest
+
+    if manifest is None:
+        manifest = build_target_manifest(old_kernel, new_kernel)
+    targets = tuple(manifest.fuzzable_blocks())
+    run_seed = derive_seed(
+        config.seed, "patch", old_kernel.version, new_kernel.version
+    )
+    seeds = ProgramGenerator(
+        new_kernel.table, split(run_seed, "seed-corpus")
+    ).seed_corpus(config.seed_corpus_size)
+
+    plain_director = PatchDirector(new_kernel, manifest, observe_only=True)
+    plain_loop = _build_snowplow_loop(
+        new_kernel, None, run_seed, config, oracle=True,
+        director=plain_director,
+    )
+    plain_loop.seed([program.clone() for program in seeds])
+    plain_stats = plain_loop.run()
+
+    directed_director = PatchDirector(new_kernel, manifest)
+    directed_loop = _build_snowplow_loop(
+        new_kernel, None, run_seed, config, oracle=True,
+        director=directed_director,
+    )
+    directed_loop.seed([program.clone() for program in seeds])
+    directed_stats = directed_loop.run()
+
+    return PatchCampaignResult(
+        from_version=old_kernel.version,
+        to_version=new_kernel.version,
+        horizon=config.horizon,
+        targets=targets,
+        directed=directed_stats,
+        plain=plain_stats,
+        directed_reached_at=dict(directed_director.reached_at),
+        plain_reached_at=dict(plain_director.reached_at),
+        directed_time=directed_director.time_to_all(config.horizon),
+        plain_time=plain_director.time_to_all(config.horizon),
+        directed_complete=directed_director.complete,
+        plain_complete=plain_director.complete,
+    )

@@ -197,6 +197,7 @@ class SnowplowLoop(FuzzLoop):
         snowplow_config: SnowplowConfig | None = None,
         service=None,
         analysis=None,
+        director=None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -207,6 +208,13 @@ class SnowplowLoop(FuzzLoop):
         # mutation query (fuzz.dead_targets_skipped counts them).  None
         # keeps target selection byte-identical to earlier baselines.
         self.analysis = analysis
+        # Optional repro.analyze.impact.PatchDirector: biases target
+        # selection toward a release's changed-block surface and
+        # schedules directed steering mutations.  None (and
+        # observe-only directors, which draw no randomness) keep the
+        # loop byte-identical to the undirected baseline.
+        self.director = director
+        self._directed_last = False
         cfg = self.snowplow_config
         latency = self.cost.inference_latency
         # A cluster hands every worker a view onto one shared serving
@@ -310,7 +318,29 @@ class SnowplowLoop(FuzzLoop):
         pool = steerable or fresh
         picks = self.rng.permutation(len(pool))
         limit = self.snowplow_config.max_targets
+        director = self.director
+        if director is not None and not director.observe_only:
+            # Directed mode: half the query slots go to the frontier
+            # blocks nearest the pending changed surface (pending
+            # targets themselves rank first at distance 0); the rest
+            # stay random so undirected exploration keeps flowing.
+            chosen = set(director.rank_targets(fresh, max(1, limit // 2)))
+            for pick in picks:
+                if len(chosen) >= limit:
+                    break
+                chosen.add(pool[int(pick)])
+            return chosen or None
         return {pool[int(pick)] for pick in picks[:limit]}
+
+    def seed(self, programs) -> None:
+        super().seed(programs)
+        if self.director is not None:
+            # Targets the seed corpus already covers count as reached at
+            # time zero — both arms of a directed-vs-plain comparison
+            # see the identical starting surface.
+            self.director.note_coverage(
+                self.accumulated.blocks, self.clock.now
+            )
 
     # ----- the hook -----
 
@@ -325,6 +355,7 @@ class SnowplowLoop(FuzzLoop):
                 )
 
     def _propose(self, entry: CorpusEntry) -> MutationOutcome | None:
+        self._directed_last = False
         self.clock.advance(self.cost.mutation, "mutation")
         if self.cost.inference_charge:
             # Blocking-inference ablation: the loop pays the latency.
@@ -366,6 +397,20 @@ class SnowplowLoop(FuzzLoop):
                 burst.program, forced_paths=chosen, hints=burst.hints
             )
         self._active_burst = None
+        director = self.director
+        if (
+            director is not None
+            and not director.observe_only
+            and director.pending
+            and self.rng.random() < director.directed_share
+        ):
+            # Patch-directed steering: plant the target (or producer)
+            # call, or force-mutate the pending slots the oracle says
+            # still violate a mandatory predicate.
+            outcome = director.propose(entry.program, self.engine, self.rng)
+            if outcome is not None:
+                self._directed_last = True
+                return outcome
         self._maybe_submit(entry.program, entry.coverage, entry.hints)
         # Fallback: the fuzzer's own heuristics while inference runs.
         # When PMM bursts are productive, random argument localization is
@@ -386,6 +431,11 @@ class SnowplowLoop(FuzzLoop):
         path is the host fuzzer's own heuristics."""
         burst = self._active_burst
         if burst is None:
+            if self._directed_last and self.director is not None:
+                return (
+                    "snowplow", "patch", None,
+                    self.director.last_proposal_paths,
+                )
             return super()._mutation_meta()
         slot = "pmm" if hasattr(self.pmm_localizer, "model") else "oracle"
         return "snowplow", slot, burst.burst_id, len(burst.paths)
@@ -420,6 +470,13 @@ class SnowplowLoop(FuzzLoop):
             if burst is not None else None
         )
         super()._run_candidate(entry, outcome)
+        if (
+            self.director is not None
+            and len(self.accumulated.blocks) != pre_blocks
+        ):
+            self.director.note_coverage(
+                self.accumulated.blocks, self.clock.now
+            )
         if burst is not None:
             produced = len(self.accumulated.edges) > pre_edges
             decay = self.snowplow_config.burst_yield_decay
@@ -477,6 +534,8 @@ class SnowplowLoop(FuzzLoop):
 
     def finalize(self) -> FuzzStats:
         stats = super().finalize()
+        if self.director is not None:
+            self.director.publish()
         if self._owns_service:
             # Breaker visibility belongs to whoever owns the tier: with
             # a shared cluster service the cluster result reports it once

@@ -1,0 +1,165 @@
+"""Hypothesis property tests for the interval+bitmask abstract domain.
+
+The PR-5 domain (:class:`repro.analyze.reach.AbstractValue`) backs
+every reachable/solvable verdict the impact pass emits, so its algebra
+carries the soundness burden: ``meet`` must be the exact conjunction,
+``join`` a sound over-approximation, and ``refine`` must never drop a
+concrete value that actually takes the branch outcomes it was refined
+with — including the widening case where a multi-bit mask negation is
+deliberately kept unconstrained.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze.reach import AbstractValue
+from repro.kernel.conditions import CondOp
+
+# Concrete values and interval endpoints stay well inside the domain's
+# 64-bit bounds so arithmetic in refine() never saturates.
+values = st.integers(min_value=-(1 << 20), max_value=1 << 20)
+masks = st.integers(min_value=0, max_value=(1 << 12) - 1)
+ops = st.sampled_from(list(CondOp))
+
+
+@st.composite
+def abstract_values(draw):
+    """A random non-trivially-constrained AbstractValue."""
+    lo = draw(values)
+    hi = draw(values)
+    if lo > hi:
+        lo, hi = hi, lo
+    must_set = draw(masks)
+    must_clear = draw(masks) & ~must_set
+    return AbstractValue(lo=lo, hi=hi, must_set=must_set,
+                         must_clear=must_clear)
+
+
+def _branch_taken(op: CondOp, operand: int, value: int) -> bool:
+    """The concrete outcome of a branch on ``value`` — the ground truth
+    refine() must stay sound against."""
+    if op is CondOp.EQ:
+        return value == operand
+    if op is CondOp.NE:
+        return value != operand
+    if op is CondOp.LT:
+        return value < operand
+    if op is CondOp.GT:
+        return value > operand
+    if op is CondOp.MASK_SET:
+        return (value & operand) == operand
+    return (value & operand) == 0  # MASK_CLEAR
+
+
+class TestMeetJoin:
+    @given(abstract_values(), abstract_values(), values)
+    def test_meet_is_exact_conjunction(self, a, b, v):
+        meet = a.meet(b)
+        assert meet.admits(v) == (a.admits(v) and b.admits(v))
+
+    @given(abstract_values(), abstract_values(), values)
+    def test_join_is_sound_union(self, a, b, v):
+        if a.admits(v) or b.admits(v):
+            assert a.join(b).admits(v)
+
+    @given(abstract_values(), abstract_values())
+    def test_meet_join_commute(self, a, b):
+        assert a.meet(b) == b.meet(a)
+        assert a.join(b) == b.join(a)
+
+    @given(abstract_values())
+    def test_meet_join_idempotent(self, a):
+        assert a.meet(a) == a
+        assert a.join(a) == a
+
+    @given(abstract_values(), abstract_values(), abstract_values(), values)
+    def test_meet_monotone(self, a, b, c, v):
+        """a ⊑ b implies meet(a, c) ⊑ meet(b, c), stated pointwise:
+        anything meet(a, c) admits, meet(b, c) admits whenever b admits
+        everything a does at that point."""
+        if a.meet(c).admits(v):
+            assert a.admits(v) and c.admits(v)
+            if b.admits(v):
+                assert b.meet(c).admits(v)
+
+    @given(abstract_values(), abstract_values(), values)
+    def test_join_upper_bound(self, a, b, v):
+        joined = a.join(b)
+        if a.admits(v):
+            assert joined.admits(v)
+        if b.admits(v):
+            assert joined.admits(v)
+
+
+class TestRefineSoundness:
+    @settings(max_examples=300)
+    @given(
+        values,
+        st.lists(st.tuples(ops, masks), min_size=1, max_size=8),
+    )
+    def test_refine_chain_keeps_the_witness(self, value, chain):
+        """Drive a random CondOp chain with branch outcomes derived
+        from one concrete value: the refined abstraction must keep
+        admitting that value at every step and never collapse to None
+        — a None would be a false "unsatisfiable path" verdict for a
+        path the value provably executes."""
+        abstract = AbstractValue()
+        for op, operand in chain:
+            taken = _branch_taken(op, operand, value)
+            refined = abstract.refine(op, operand, taken)
+            assert refined is not None, (
+                f"refine({op}, {operand}, {taken}) emptied an "
+                f"abstraction that admits {value}"
+            )
+            assert refined.admits(value)
+            assert not refined.is_empty()
+            abstract = refined
+
+    @settings(max_examples=200)
+    @given(abstract_values(), ops, masks, values)
+    def test_refine_never_gains_values(self, abstract, op, operand, v):
+        """Refinement only narrows: a value the input rejects is still
+        rejected after refining with either branch outcome."""
+        if abstract.admits(v):
+            return
+        for taken in (True, False):
+            refined = abstract.refine(op, operand, taken)
+            if refined is not None:
+                assert not refined.admits(v)
+
+    @settings(max_examples=200)
+    @given(
+        values,
+        st.integers(min_value=0, max_value=(1 << 12) - 1).filter(
+            lambda m: bin(m).count("1") >= 2
+        ),
+    )
+    def test_multibit_mask_negation_widens_soundly(self, value, mask):
+        """The widening case: "not all mask bits set" on a multi-bit
+        mask keeps the bit constraints unchanged rather than splitting
+        the disjunction.  Sound = every concrete value that fails the
+        mask is still admitted."""
+        if (value & mask) == mask:
+            return  # value takes the branch; negation doesn't apply
+        abstract = AbstractValue()
+        refined = abstract.refine(CondOp.MASK_SET, mask, False)
+        assert refined is not None
+        assert refined.admits(value)
+        # and it widens: bit sets are untouched
+        assert refined.must_set == abstract.must_set
+        assert refined.must_clear == abstract.must_clear
+
+    @settings(max_examples=200)
+    @given(values, st.lists(st.tuples(ops, masks), min_size=1, max_size=6))
+    def test_example_is_admitted(self, value, chain):
+        """Whenever a sound chain leaves the abstraction non-empty,
+        example() produces a concrete witness it admits."""
+        abstract = AbstractValue()
+        for op, operand in chain:
+            refined = abstract.refine(
+                op, operand, _branch_taken(op, operand, value)
+            )
+            assert refined is not None
+            abstract = refined
+        witness = abstract.example()
+        assert abstract.admits(witness)
